@@ -1,0 +1,81 @@
+// Command trace runs the small-scale 2-cluster full-fidelity simulation
+// with MimicNet's boundary taps and dumps the matched packet trace as
+// JSON Lines — the data-generation step of the workflow (paper §5.1) as
+// a standalone tool. Feed the output to `mimicnet -trace` to train from
+// a saved trace instead of re-simulating.
+//
+// Example:
+//
+//	trace -protocol dctcp -run 2s > dctcp.trace
+//	mimicnet -trace dctcp.trace -clusters 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mimicnet/internal/cluster"
+	"mimicnet/internal/core"
+	"mimicnet/internal/sim"
+	"mimicnet/internal/transport"
+	"mimicnet/internal/workload"
+)
+
+func main() {
+	var (
+		racks    = flag.Int("racks", 2, "racks per cluster")
+		hosts    = flag.Int("hosts", 4, "hosts per rack")
+		aggs     = flag.Int("aggs", 2, "aggregation switches per cluster")
+		cores    = flag.Int("cores-per-agg", 2, "core switches per agg index")
+		protocol = flag.String("protocol", "newreno", "transport protocol")
+		load     = flag.Float64("load", 0.7, "offered load")
+		meanFlow = flag.Float64("mean-flow", 150_000, "mean flow size in bytes")
+		run      = flag.Duration("run", 250*time.Millisecond, "simulated time")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		ecnK     = flag.Int("ecn-k", 20, "ECN marking threshold (DCTCP)")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	p, err := transport.ByName(*protocol)
+	fatal(err)
+	cfg := cluster.DefaultConfig(2)
+	cfg.Topo.RacksPerCluster = *racks
+	cfg.Topo.HostsPerRack = *hosts
+	cfg.Topo.AggPerCluster = *aggs
+	cfg.Topo.CoresPerAgg = *cores
+	cfg.Protocol = p
+	cfg.Workload = workload.DefaultConfig(*meanFlow)
+	cfg.Workload.Load = *load
+	cfg.Workload.Duration = sim.Time(*run)
+	cfg.Workload.Seed = *seed
+	cfg.ECNThresholdK = *ecnK
+
+	inst, err := cluster.New(cfg)
+	fatal(err)
+	tracer := core.NewTracer(inst.Topo, 1)
+	tracer.Attach(inst)
+	inst.Run(sim.Time(*run))
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		fatal(err)
+		defer f.Close()
+		w = f
+	}
+	records := tracer.Records()
+	fatal(core.WriteTrace(w, records))
+	ing, eg := tracer.ByDirection()
+	fmt.Fprintf(os.Stderr, "trace: %d records (%d ingress, %d egress), %d still in flight\n",
+		len(records), len(ing), len(eg), tracer.PendingCount())
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module mimicnet
+
+go 1.22

@@ -1,0 +1,281 @@
+// Package cluster assembles full-fidelity packet-level simulations: a
+// FatTree fabric, per-host transport stacks, a generated workload, and
+// the instrumentation MimicNet needs—metrics collection at the observable
+// cluster's hosts and packet taps at cluster boundaries (paper §5.1).
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+
+	"mimicnet/internal/metrics"
+	"mimicnet/internal/netsim"
+	"mimicnet/internal/sim"
+	"mimicnet/internal/topo"
+	"mimicnet/internal/transport"
+	"mimicnet/internal/workload"
+)
+
+// Config describes a full simulation.
+type Config struct {
+	Topo     topo.Config
+	Link     netsim.LinkConfig
+	Protocol transport.Protocol
+	Workload workload.Config
+
+	// Observable selects the cluster whose hosts are instrumented for
+	// FCT/throughput/RTT (paper: exactly one observable cluster).
+	Observable int
+
+	// ECNThresholdK sets the switch marking threshold when the protocol
+	// uses ECN (DCTCP's K, Figure 13). Zero selects the default of 20.
+	ECNThresholdK int
+
+	// QueueCapacity is the per-port queue capacity in packets (0 = 100).
+	QueueCapacity int
+
+	// CustomQueue, when set, overrides the protocol-derived switch queue
+	// discipline (e.g. to run RED ablations).
+	CustomQueue netsim.QueueFactory
+}
+
+// DefaultConfig returns the paper's base configuration at a given cluster
+// count: TCP New Reno, DropTail, ECMP, 100 Mbps / 500 µs links.
+func DefaultConfig(clusters int) Config {
+	wl := workload.DefaultConfig(150_000)
+	return Config{
+		Topo:     topo.DefaultConfig().WithClusters(clusters),
+		Link:     netsim.DefaultLinkConfig(),
+		Protocol: transport.NewRenoProtocol(),
+		Workload: wl,
+	}
+}
+
+// QueueFactory picks the switch queue discipline required by the
+// protocol: ECN marking for DCTCP, strict priority for Homa, DropTail
+// otherwise.
+func (c Config) QueueFactory() netsim.QueueFactory {
+	if c.CustomQueue != nil {
+		return c.CustomQueue
+	}
+	capacity := c.QueueCapacity
+	if capacity <= 0 {
+		capacity = 100
+	}
+	switch {
+	case c.Protocol.UsesECN():
+		k := c.ECNThresholdK
+		if k <= 0 {
+			k = 20
+		}
+		return netsim.ECNFactory(capacity, k)
+	case c.Protocol.QueueBands() > 1:
+		return netsim.PriorityFactory(c.Protocol.QueueBands(), capacity)
+	default:
+		return netsim.DropTailFactory(capacity)
+	}
+}
+
+// BDPBytes estimates the bandwidth-delay product of the longest (6-hop
+// inter-cluster) path for transport sizing.
+func (c Config) BDPBytes() int {
+	rttSec := 12 * c.Link.Delay.Seconds() // 6 links each way
+	bdp := int(c.Link.RateBps / 8 * rttSec)
+	if bdp < netsim.MSS {
+		bdp = netsim.MSS
+	}
+	return bdp
+}
+
+// Simulation is a runnable full-fidelity instance.
+type Simulation struct {
+	Cfg       Config
+	Sim       *sim.Simulator
+	Topo      *topo.Topology
+	Fabric    *netsim.Fabric
+	Env       *transport.Env
+	Collector *metrics.Collector
+
+	hosts []*transport.Host
+	flows []workload.Flow
+
+	// waiting maps a parent flow ID to the dependent flows gated on its
+	// completion (co-flow support).
+	waiting map[uint64][]workload.Flow
+
+	// FlowsStarted / FlowsCompleted count observable-cluster flows.
+	FlowsStarted, FlowsCompleted int
+}
+
+// New builds a simulation. The workload is generated immediately so the
+// caller can inspect it before running.
+func New(cfg Config) (*Simulation, error) {
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("cluster: config needs a protocol")
+	}
+	if err := cfg.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Observable < 0 || cfg.Observable >= cfg.Topo.Clusters {
+		return nil, fmt.Errorf("cluster: observable cluster %d out of range", cfg.Observable)
+	}
+	t := topo.New(cfg.Topo)
+	cfg.Workload.HostLinkBps = cfg.Link.RateBps
+	flows, err := workload.Generate(t, cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+
+	s := sim.New()
+	link := cfg.Link
+	link.SwitchQueue = cfg.QueueFactory()
+	fabric := netsim.NewFabric(s, t, link)
+
+	inst := &Simulation{
+		Cfg: cfg, Sim: s, Topo: t, Fabric: fabric,
+		Collector: metrics.NewCollector(),
+		flows:     flows,
+		waiting:   make(map[uint64][]workload.Flow),
+	}
+	inst.Env = &transport.Env{
+		Sim:      s,
+		MSS:      netsim.MSS,
+		BDPBytes: cfg.BDPBytes(),
+		Inject: func(pkt *netsim.Packet) {
+			pkt.Path = t.Path(pkt.Src, pkt.Dst, pkt.Hash)
+			fabric.Inject(pkt)
+		},
+		OnRTT: func(f *transport.Flow, sec float64) {
+			if t.ClusterOf(f.Src) == cfg.Observable {
+				inst.Collector.RTTSample(sec)
+			}
+		},
+		OnComplete: func(f *transport.Flow) {
+			if inst.observes(f.Src, f.Dst) {
+				inst.Collector.FlowCompleted(flowKey(f.ID), s.Now())
+				inst.FlowsCompleted++
+			}
+			inst.releaseDependents(f.ID)
+		},
+	}
+
+	inst.hosts = make([]*transport.Host, t.Hosts())
+	for h := 0; h < t.Hosts(); h++ {
+		h := h
+		host := transport.NewHost(h, inst.Env, func(f *transport.Flow) *transport.Receiver {
+			r := transport.NewReceiver(inst.Env, f)
+			if transport.IsHoma(cfg.Protocol) {
+				bdp := inst.Env.BDPBytes
+				r.EnableGranting(func(remaining int64) int {
+					return transport.HomaPriority(remaining, bdp)
+				})
+			}
+			if t.ClusterOf(h) == cfg.Observable {
+				r.OnDeliver = func(n int64) {
+					inst.Collector.BytesReceived(h, n, s.Now())
+				}
+			}
+			return r
+		})
+		inst.hosts[h] = host
+		fabric.RegisterHost(h, host.Receive)
+	}
+
+	// Schedule root flows; dependents wait for their parent's completion.
+	for _, f := range flows {
+		f := f
+		if f.After != 0 {
+			inst.waiting[f.After] = append(inst.waiting[f.After], f)
+			continue
+		}
+		s.At(f.Start, func() { inst.startFlow(f) })
+	}
+	return inst, nil
+}
+
+// releaseDependents starts flows gated on the completed parent, each
+// after its configured stage delay.
+func (inst *Simulation) releaseDependents(parent uint64) {
+	deps := inst.waiting[parent]
+	if len(deps) == 0 {
+		return
+	}
+	delete(inst.waiting, parent)
+	for _, f := range deps {
+		f := f
+		inst.Sim.After(f.Start, func() { inst.startFlow(f) })
+	}
+}
+
+func flowKey(id uint64) string { return strconv.FormatUint(id, 10) }
+
+func (inst *Simulation) observes(src, dst int) bool {
+	return inst.Topo.ClusterOf(src) == inst.Cfg.Observable ||
+		inst.Topo.ClusterOf(dst) == inst.Cfg.Observable
+}
+
+func (inst *Simulation) startFlow(f workload.Flow) {
+	tf := &transport.Flow{
+		ID: f.ID, Src: f.Src, Dst: f.Dst, Bytes: f.Bytes,
+		Hash: topo.FlowHash(f.Src, f.Dst, f.ID),
+	}
+	sender := inst.Cfg.Protocol.NewSender(inst.Env, tf)
+	inst.hosts[f.Src].AddSender(f.ID, sender)
+	if inst.observes(f.Src, f.Dst) {
+		inst.Collector.FlowStarted(flowKey(f.ID), f.Src, f.Dst, f.Bytes, inst.Sim.Now())
+		inst.FlowsStarted++
+	}
+	sender.Start()
+}
+
+// AddFlows schedules additional flows (e.g. co-flow jobs from
+// workload.GenerateCoflows) on top of the generated background traffic.
+// Root flows are scheduled at their Start time; dependent flows are gated
+// on their parent's completion. Must be called before Run.
+func (inst *Simulation) AddFlows(flows []workload.Flow) error {
+	for _, f := range flows {
+		if f.Src < 0 || f.Src >= inst.Topo.Hosts() || f.Dst < 0 || f.Dst >= inst.Topo.Hosts() {
+			return fmt.Errorf("cluster: flow %d has out-of-range endpoints", f.ID)
+		}
+		f := f
+		inst.flows = append(inst.flows, f)
+		if f.After != 0 {
+			inst.waiting[f.After] = append(inst.waiting[f.After], f)
+			continue
+		}
+		inst.Sim.At(f.Start, func() { inst.startFlow(f) })
+	}
+	return nil
+}
+
+// Flows returns the generated schedule.
+func (inst *Simulation) Flows() []workload.Flow { return inst.flows }
+
+// Run advances the simulation to the given simulated time.
+func (inst *Simulation) Run(until sim.Time) {
+	inst.Sim.RunUntil(until)
+}
+
+// Results bundles the three end-to-end metric distributions.
+type Results struct {
+	FCTs        []float64
+	Throughputs []float64
+	RTTs        []float64
+	FCTByID     map[string]float64
+	Events      uint64 // simulator events processed
+	Packets     uint64 // packets injected into the fabric
+	Drops       uint64
+}
+
+// Results snapshots the collected metrics.
+func (inst *Simulation) Results() Results {
+	return Results{
+		FCTs:        inst.Collector.FCTs(),
+		Throughputs: inst.Collector.Throughputs(),
+		RTTs:        inst.Collector.RTTs(),
+		FCTByID:     inst.Collector.FCTByID(),
+		Events:      inst.Sim.Processed(),
+		Packets:     inst.Fabric.Injected,
+		Drops:       inst.Fabric.Drops,
+	}
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mimicnet/internal/netsim"
+	"mimicnet/internal/sim"
+	"mimicnet/internal/topo"
+)
+
+// This file provides the "arbitrary instrumentation" surface the paper
+// promises for the observable cluster (§2.1, §7.1: "users can add
+// arbitrary instrumentation, e.g., by dumping pcaps or queue depths"):
+// a periodic queue-depth sampler and a packet trace logger.
+
+// QueueSample is one observation of a port's queue.
+type QueueSample struct {
+	At      sim.Time
+	From    int
+	To      int
+	Packets int
+	Bytes   int
+}
+
+// QueueDepthSampler periodically samples the queue depth of selected
+// ports. Attach before the simulation runs.
+type QueueDepthSampler struct {
+	Interval sim.Time
+	Samples  []QueueSample
+
+	ports [][2]int
+	inst  *Simulation
+}
+
+// SampleQueues samples every port of the observable cluster's switches at
+// the given interval until the simulation ends. Passing specific port
+// pairs restricts the set.
+func (inst *Simulation) SampleQueues(interval sim.Time, ports ...[2]int) *QueueDepthSampler {
+	s := &QueueDepthSampler{Interval: interval, inst: inst, ports: ports}
+	if len(s.ports) == 0 {
+		s.ports = inst.observablePorts()
+	}
+	var tick func()
+	tick = func() {
+		for _, p := range s.ports {
+			port := inst.Fabric.Port(p[0], p[1])
+			if port == nil {
+				continue
+			}
+			s.Samples = append(s.Samples, QueueSample{
+				At: inst.Sim.Now(), From: p[0], To: p[1],
+				Packets: port.QueueLen(), Bytes: port.QueueBytes(),
+			})
+		}
+		inst.Sim.After(interval, tick)
+	}
+	inst.Sim.At(0, tick)
+	return s
+}
+
+// observablePorts enumerates the switch-side directed ports of the
+// observable cluster (ToR and agg output queues — where fan-in congestion
+// lives).
+func (inst *Simulation) observablePorts() [][2]int {
+	t := inst.Topo
+	c := inst.Cfg.Observable
+	tc := t.Config()
+	var ports [][2]int
+	for r := 0; r < tc.RacksPerCluster; r++ {
+		tor := t.ToRID(c, r)
+		for slot := 0; slot < tc.HostsPerRack; slot++ {
+			ports = append(ports, [2]int{tor, t.HostID(c, r, slot)})
+		}
+		for a := 0; a < tc.AggPerCluster; a++ {
+			agg := t.AggID(c, a)
+			ports = append(ports, [2]int{tor, agg}, [2]int{agg, tor})
+		}
+	}
+	return ports
+}
+
+// MaxDepth returns the maximum sampled queue depth in packets.
+func (s *QueueDepthSampler) MaxDepth() int {
+	max := 0
+	for _, smp := range s.Samples {
+		if smp.Packets > max {
+			max = smp.Packets
+		}
+	}
+	return max
+}
+
+// WriteCSV dumps the samples as CSV (at_seconds, from, to, packets, bytes).
+func (s *QueueDepthSampler) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at_seconds", "from", "to", "packets", "bytes"}); err != nil {
+		return err
+	}
+	for _, smp := range s.Samples {
+		err := cw.Write([]string{
+			strconv.FormatFloat(smp.At.Seconds(), 'g', -1, 64),
+			s.inst.Topo.Name(smp.From),
+			s.inst.Topo.Name(smp.To),
+			strconv.Itoa(smp.Packets),
+			strconv.Itoa(smp.Bytes),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// PacketLogger streams a pcap-like text record of packets crossing the
+// observable cluster's host interfaces.
+type PacketLogger struct {
+	w     io.Writer
+	count uint64
+	err   error
+}
+
+// LogPackets attaches a packet logger to the simulation. Records are
+// emitted for packets arriving at observable-cluster hosts and packets
+// those hosts send.
+func (inst *Simulation) LogPackets(w io.Writer) *PacketLogger {
+	l := &PacketLogger{w: w}
+	t := inst.Topo
+	obs := inst.Cfg.Observable
+	prevSend := inst.Fabric.Taps.OnSend
+	prevArrive := inst.Fabric.Taps.OnArrive
+	inst.Fabric.Taps.OnSend = func(from, to int, pkt *netsim.Packet, at sim.Time) {
+		if t.KindOf(from) == topo.KindHost && t.ClusterOf(from) == obs {
+			l.log("send", from, pkt, at)
+		}
+		if prevSend != nil {
+			prevSend(from, to, pkt, at)
+		}
+	}
+	inst.Fabric.Taps.OnArrive = func(node int, pkt *netsim.Packet, at sim.Time) {
+		if t.KindOf(node) == topo.KindHost && t.ClusterOf(node) == obs {
+			l.log("recv", node, pkt, at)
+		}
+		if prevArrive != nil {
+			prevArrive(node, pkt, at)
+		}
+	}
+	return l
+}
+
+func (l *PacketLogger) log(kind string, node int, pkt *netsim.Packet, at sim.Time) {
+	if l.err != nil {
+		return
+	}
+	l.count++
+	kindFlag := "data"
+	if pkt.IsAck {
+		kindFlag = "ack"
+	}
+	if pkt.IsGrant {
+		kindFlag = "grant"
+	}
+	_, l.err = fmt.Fprintf(l.w, "%.9f %s node=%d flow=%d %s seq=%d len=%d ce=%t\n",
+		at.Seconds(), kind, node, pkt.FlowID, kindFlag, pkt.Seq, pkt.Payload, pkt.CE)
+}
+
+// Count returns the number of records written.
+func (l *PacketLogger) Count() uint64 { return l.count }
+
+// Err returns the first write error, if any.
+func (l *PacketLogger) Err() error { return l.err }

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"mimicnet/internal/cluster"
+	"mimicnet/internal/metrics"
+	"mimicnet/internal/netsim"
+	"mimicnet/internal/sim"
+	"mimicnet/internal/stats"
+	"mimicnet/internal/topo"
+	"mimicnet/internal/transport"
+	"mimicnet/internal/workload"
+)
+
+// Composed is an N-cluster MimicNet simulation: one real (observable)
+// cluster plus N−1 Mimic clusters and a proportional number of Core
+// switches (paper §7.1). The observable cluster, the core fabric, and the
+// remote transport endpoints of observable flows run at full fidelity;
+// everything inside Mimic clusters is predicted by the trained models,
+// with feeders standing in for Mimic-Mimic traffic.
+type Composed struct {
+	Cfg       cluster.Config
+	Sim       *sim.Simulator
+	Topo      *topo.Topology
+	Fabric    *netsim.Fabric
+	Env       *transport.Env
+	Collector *metrics.Collector
+	Mimics    []*Mimic // indexed by cluster; nil for the observable
+
+	hosts  []*transport.Host
+	flows  []workload.Flow
+	models *MimicModels
+
+	// Counters for the speed/compute experiments.
+	FlowsStarted, FlowsCompleted int
+	MimicDropsIngress            uint64
+	MimicDropsEgress             uint64
+	FeederEvents                 uint64
+}
+
+const observable = 0
+
+// Compose builds the large-scale approximate simulation. cfg.Topo.Clusters
+// sets N; all other parameters should match the small-scale run that
+// trained the models ("Aside from the number of clusters, all other
+// parameters are kept constant", §7.1).
+func Compose(cfg cluster.Config, models *MimicModels) (*Composed, error) {
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("core: config needs a protocol")
+	}
+	if err := cfg.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Topo.Clusters < 2 {
+		return nil, fmt.Errorf("core: composition needs >= 2 clusters")
+	}
+	if models == nil || models.Ingress == nil || models.Egress == nil {
+		return nil, fmt.Errorf("core: missing trained models")
+	}
+	got := NewFeatureSpec(cfg.Topo)
+	got.SkipCongestion = models.Spec.SkipCongestion
+	if got.Width() != models.Spec.Width() {
+		return nil, fmt.Errorf("core: feature spec mismatch: models trained for width %d, topology needs %d (per-cluster structure must not change)",
+			models.Spec.Width(), got.Width())
+	}
+	cfg.Observable = observable
+
+	t := topo.New(cfg.Topo)
+	cfg.Workload.HostLinkBps = cfg.Link.RateBps
+	allFlows, err := workload.Generate(t, cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	// Only traffic touching the observable cluster is simulated as real
+	// packets; the rest is approximated by the feeders.
+	flows := make([]workload.Flow, 0, len(allFlows))
+	for _, f := range allFlows {
+		if t.ClusterOf(f.Src) == observable || t.ClusterOf(f.Dst) == observable {
+			flows = append(flows, f)
+		}
+	}
+
+	s := sim.New()
+	link := cfg.Link
+	link.SwitchQueue = cfg.QueueFactory()
+	fabric := netsim.NewFabric(s, t, link)
+
+	c := &Composed{
+		Cfg: cfg, Sim: s, Topo: t, Fabric: fabric,
+		Collector: metrics.NewCollector(),
+		flows:     flows,
+		models:    models,
+		Mimics:    make([]*Mimic, cfg.Topo.Clusters),
+	}
+	for i := 1; i < cfg.Topo.Clusters; i++ {
+		c.Mimics[i] = NewMimic(models, i, cfg.Workload.Seed)
+	}
+
+	c.Env = &transport.Env{
+		Sim:      s,
+		MSS:      netsim.MSS,
+		BDPBytes: cfg.BDPBytes(),
+		Inject:   c.inject,
+		OnRTT: func(f *transport.Flow, sec float64) {
+			if t.ClusterOf(f.Src) == observable {
+				c.Collector.RTTSample(sec)
+			}
+		},
+		OnComplete: func(f *transport.Flow) {
+			c.Collector.FlowCompleted(strconv.FormatUint(f.ID, 10), s.Now())
+			c.FlowsCompleted++
+		},
+	}
+
+	c.hosts = make([]*transport.Host, t.Hosts())
+	for h := 0; h < t.Hosts(); h++ {
+		h := h
+		host := transport.NewHost(h, c.Env, func(f *transport.Flow) *transport.Receiver {
+			r := transport.NewReceiver(c.Env, f)
+			if transport.IsHoma(cfg.Protocol) {
+				bdp := c.Env.BDPBytes
+				r.EnableGranting(func(remaining int64) int {
+					return transport.HomaPriority(remaining, bdp)
+				})
+			}
+			if t.ClusterOf(h) == observable {
+				r.OnDeliver = func(n int64) {
+					c.Collector.BytesReceived(h, n, s.Now())
+				}
+			}
+			return r
+		})
+		c.hosts[h] = host
+		fabric.RegisterHost(h, host.Receive)
+	}
+
+	fabric.SetIntercept(c.interceptIngress)
+
+	for _, f := range flows {
+		f := f
+		s.At(f.Start, func() { c.startFlow(f) })
+	}
+	c.startFeeders()
+	return c, nil
+}
+
+// inject routes transport packets: observable-cluster sources use the
+// real fabric; Mimic-cluster sources pass through the egress model first.
+func (c *Composed) inject(pkt *netsim.Packet) {
+	pkt.Path = c.Topo.Path(pkt.Src, pkt.Dst, pkt.Hash)
+	srcCluster := c.Topo.ClusterOf(pkt.Src)
+	if srcCluster == observable {
+		c.Fabric.Inject(pkt)
+		return
+	}
+	mimic := c.Mimics[srcCluster]
+	info := BuildPacketInfo(c.Topo, srcCluster, pkt, pkt.Src, c.Sim.Now())
+	out := mimic.ProcessEgress(info)
+	if out.Dropped {
+		c.MimicDropsEgress++
+		return
+	}
+	if out.ECNMark {
+		pkt.CE = true
+	}
+	// Find the core hop: the packet materializes there after the
+	// predicted in-cluster latency; core and observable-cluster hops are
+	// then simulated at full fidelity.
+	coreHop := -1
+	for i, node := range pkt.Path {
+		if c.Topo.KindOf(node) == topo.KindCore {
+			coreHop = i
+			break
+		}
+	}
+	if coreHop < 0 {
+		// Both endpoints inside the same Mimic should never reach here
+		// (such flows are filtered); treat as model-internal and drop.
+		c.MimicDropsEgress++
+		return
+	}
+	c.Sim.After(out.Latency, func() {
+		c.Fabric.InjectAt(pkt, coreHop)
+	})
+}
+
+// interceptIngress swallows packets descending into a Mimic cluster and
+// replaces the in-cluster journey with the ingress model's prediction.
+func (c *Composed) interceptIngress(node int, pkt *netsim.Packet) bool {
+	t := c.Topo
+	if t.KindOf(node) != topo.KindAgg {
+		return false
+	}
+	clusterIdx := t.ClusterOf(node)
+	if clusterIdx == observable {
+		return false
+	}
+	if t.ClusterOf(pkt.Dst) != clusterIdx {
+		return false
+	}
+	mimic := c.Mimics[clusterIdx]
+	info := BuildPacketInfo(t, clusterIdx, pkt, pkt.Dst, c.Sim.Now())
+	out := mimic.ProcessIngress(info)
+	if out.Dropped {
+		c.MimicDropsIngress++
+		return true
+	}
+	if out.ECNMark {
+		pkt.CE = true
+	}
+	dst := pkt.Dst
+	c.Sim.After(out.Latency, func() {
+		c.hosts[dst].Receive(pkt)
+	})
+	return true
+}
+
+func (c *Composed) startFlow(f workload.Flow) {
+	tf := &transport.Flow{
+		ID: f.ID, Src: f.Src, Dst: f.Dst, Bytes: f.Bytes,
+		Hash: topo.FlowHash(f.Src, f.Dst, f.ID),
+	}
+	sender := c.Cfg.Protocol.NewSender(c.Env, tf)
+	c.hosts[f.Src].AddSender(f.ID, sender)
+	c.Collector.FlowStarted(strconv.FormatUint(f.ID, 10), f.Src, f.Dst, f.Bytes, c.Sim.Now())
+	c.FlowsStarted++
+	sender.Start()
+}
+
+// startFeeders schedules the per-Mimic, per-direction synthetic traffic
+// that keeps internal model state realistic without simulating packets.
+func (c *Composed) startFeeders() {
+	n := c.Cfg.Topo.Clusters
+	if n <= 2 {
+		return // all external traffic is real in a 2-cluster composition
+	}
+	for idx := 1; idx < n; idx++ {
+		mimic := c.Mimics[idx]
+		for _, dir := range []Direction{Ingress, Egress} {
+			dm := c.models.Ingress
+			feed := mimic.FeedIngress
+			if dir == Egress {
+				dm = c.models.Egress
+				feed = mimic.FeedEgress
+			}
+			rng := stats.NewStream(c.Cfg.Workload.Seed).Derive(
+				fmt.Sprintf("feeder-%d-%s", idx, dir))
+			var schedule func()
+			schedule = func() {
+				gap := FeederGap(dm, rng, n)
+				if gap <= 0 {
+					return
+				}
+				c.Sim.After(gap, func() {
+					c.FeederEvents++
+					feed(c.Sim.Now())
+					schedule()
+				})
+			}
+			schedule()
+		}
+	}
+}
+
+// Flows returns the real (observable-touching) flow schedule.
+func (c *Composed) Flows() []workload.Flow { return c.flows }
+
+// Run advances the composed simulation.
+func (c *Composed) Run(until sim.Time) { c.Sim.RunUntil(until) }
+
+// Results snapshots the collected metrics in the same shape as a
+// full-fidelity run, so they can be compared directly.
+func (c *Composed) Results() cluster.Results {
+	return cluster.Results{
+		FCTs:        c.Collector.FCTs(),
+		Throughputs: c.Collector.Throughputs(),
+		RTTs:        c.Collector.RTTs(),
+		FCTByID:     c.Collector.FCTByID(),
+		Events:      c.Sim.Processed(),
+		Packets:     c.Fabric.Injected,
+		Drops:       c.Fabric.Drops + c.MimicDropsIngress + c.MimicDropsEgress,
+	}
+}
+
+// InferenceSteps totals LSTM steps across all Mimics (Figure 23).
+func (c *Composed) InferenceSteps() uint64 {
+	var total uint64
+	for _, m := range c.Mimics {
+		if m != nil {
+			total += m.InferenceSteps()
+		}
+	}
+	return total
+}

@@ -1,0 +1,591 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mimicnet/internal/cluster"
+	"mimicnet/internal/metrics"
+	"mimicnet/internal/ml"
+	"mimicnet/internal/sim"
+	"mimicnet/internal/stats"
+	"mimicnet/internal/topo"
+	"mimicnet/internal/transport"
+	"mimicnet/internal/workload"
+)
+
+// fastBase returns a quick 2-cluster base configuration.
+func fastBase() cluster.Config {
+	cfg := cluster.DefaultConfig(2)
+	cfg.Workload = workload.DefaultConfig(20_000)
+	cfg.Workload.Duration = 150 * sim.Millisecond
+	cfg.Workload.Load = 0.7
+	return cfg
+}
+
+// fastTrain returns a small, quick training configuration.
+func fastTrain() TrainConfig {
+	cfg := DefaultTrainConfig()
+	cfg.Dataset.Window = 6
+	cfg.Model = ml.DefaultModelConfig(0, 6)
+	cfg.Model.Hidden = 12
+	cfg.Model.Epochs = 2
+	return cfg
+}
+
+func TestFeatureSpecWidth(t *testing.T) {
+	spec := NewFeatureSpec(topo.DefaultConfig())
+	// 2 racks + 4 servers + 2 aggs + 4 cores + 7 scalars + 4 congestion.
+	want := 2 + 4 + 2 + 4 + 7 + 4
+	if spec.Width() != want {
+		t.Errorf("Width = %d, want %d", spec.Width(), want)
+	}
+}
+
+func TestFeatureSpecScaleIndependent(t *testing.T) {
+	a := NewFeatureSpec(topo.DefaultConfig().WithClusters(2))
+	b := NewFeatureSpec(topo.DefaultConfig().WithClusters(128))
+	if a.Width() != b.Width() {
+		t.Error("feature width changed with cluster count — not scalable")
+	}
+}
+
+func TestExtractorFeatures(t *testing.T) {
+	spec := NewFeatureSpec(topo.DefaultConfig())
+	ex := NewExtractor(spec, 0.001, 0.01)
+	info := PacketInfo{
+		LocalRack: 1, LocalServer: 2, LocalAgg: 0, Core: 3,
+		SizeBytes: 1500, IsAck: false, ECT: true, Priority: 4,
+		ArrivalTime: sim.Millisecond,
+	}
+	v := ex.Features(info)
+	if len(v) != spec.Width() {
+		t.Fatalf("feature len %d != width %d", len(v), spec.Width())
+	}
+	// One-hot sanity: rack block is [0,1], server block [0,0,1,0].
+	if v[0] != 0 || v[1] != 1 {
+		t.Errorf("rack one-hot = %v", v[:2])
+	}
+	if v[2] != 0 || v[3] != 0 || v[4] != 1 || v[5] != 0 {
+		t.Errorf("server one-hot = %v", v[2:6])
+	}
+	// Size scalar at offset racks+servers+aggs+cores.
+	off := 2 + 4 + 2 + 4
+	if v[off] != 1.0 {
+		t.Errorf("size feature = %v, want 1.0 for MTU", v[off])
+	}
+	// ECT flag set.
+	if v[off+4] != 1 {
+		t.Errorf("ECT feature = %v", v[off+4])
+	}
+	// Congestion one-hot sums to 1.
+	var sum float64
+	for _, x := range v[len(v)-NumCongestionStates:] {
+		sum += x
+	}
+	if sum != 1 {
+		t.Errorf("congestion one-hot sum = %v", sum)
+	}
+}
+
+func TestExtractorTimeFeaturesAdvance(t *testing.T) {
+	spec := NewFeatureSpec(topo.DefaultConfig())
+	ex := NewExtractor(spec, 0.001, 0.01)
+	base := PacketInfo{ArrivalTime: 0, SizeBytes: 100}
+	v1 := ex.Features(base)
+	base.ArrivalTime = 10 * sim.Millisecond
+	v2 := ex.Features(base)
+	off := 2 + 4 + 2 + 4 + 1 // gap feature offset
+	if v1[off] != v2[off] && v2[off] <= v1[off] {
+		t.Errorf("larger gap should give larger time feature: %v vs %v", v1[off], v2[off])
+	}
+	ex.Reset()
+	v3 := ex.Features(base)
+	if v3[off] != v1[off] {
+		t.Error("Reset did not clear last-packet state")
+	}
+}
+
+func TestCongestionEstimatorStates(t *testing.T) {
+	c := NewCongestionEstimator(0.001, 0.01)
+	if c.State() != CongNone {
+		t.Error("fresh estimator should report none")
+	}
+	// Low latency: none.
+	for i := 0; i < 50; i++ {
+		c.Observe(0.001, false)
+	}
+	if c.State() != CongNone {
+		t.Errorf("low latency state = %v", c.State())
+	}
+	// Sudden rise: rising.
+	for i := 0; i < 3; i++ {
+		c.Observe(0.008, false)
+	}
+	if s := c.State(); s != CongRising && s != CongHigh {
+		t.Errorf("rising latency state = %v", s)
+	}
+	// Sustained high + drops: high.
+	for i := 0; i < 50; i++ {
+		c.Observe(0.01, i%3 == 0)
+	}
+	if c.State() != CongHigh {
+		t.Errorf("sustained congestion state = %v", c.State())
+	}
+	// Recovery: falling.
+	for i := 0; i < 10; i++ {
+		c.Observe(0.001, false)
+	}
+	if s := c.State(); s != CongFalling && s != CongNone {
+		t.Errorf("recovery state = %v", s)
+	}
+}
+
+func runTraced(t *testing.T) (*Tracer, *cluster.Simulation) {
+	t.Helper()
+	inst, err := cluster.New(fastBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(inst.Topo, 1)
+	tr.Attach(inst)
+	inst.Run(300 * sim.Millisecond)
+	return tr, inst
+}
+
+func TestTracerCapturesBothDirections(t *testing.T) {
+	tr, inst := runTraced(t)
+	ing, eg := tr.ByDirection()
+	if len(ing) == 0 || len(eg) == 0 {
+		t.Fatalf("ingress=%d egress=%d records", len(ing), len(eg))
+	}
+	// Entry order must be non-decreasing.
+	for recsIdx, recs := range [][]*TraceRecord{ing, eg} {
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Entry < recs[i-1].Entry {
+				t.Fatalf("direction %d records out of entry order", recsIdx)
+			}
+		}
+	}
+	// Latencies of delivered packets must be at least the wire time of
+	// two links (agg->tor->host or host->tor->core side).
+	minWire := (2 * inst.Cfg.Link.Delay).Seconds()
+	for _, r := range tr.Records() {
+		if r.Dropped {
+			continue
+		}
+		if r.Latency() < minWire-1e-9 {
+			t.Fatalf("%v latency %v below wire floor %v", r.Dir, r.Latency(), minWire)
+		}
+	}
+}
+
+func TestTracerExternalOnly(t *testing.T) {
+	tr, inst := runTraced(t)
+	for _, r := range tr.Records() {
+		_ = r
+	}
+	// Reconstruct: every traced packet must have exactly one endpoint in
+	// cluster 1. We can't see the packets anymore, but Info.LocalRack and
+	// Dir were derived from them; instead verify drop/pending accounting.
+	if tr.PendingCount() > 50 {
+		t.Errorf("suspiciously many unmatched packets: %d", tr.PendingCount())
+	}
+	_ = inst
+}
+
+func TestTracerSeesDropsUnderPressure(t *testing.T) {
+	cfg := fastBase()
+	cfg.QueueCapacity = 4 // tiny queues force in-cluster drops
+	cfg.Workload.Load = 0.95
+	inst, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer(inst.Topo, 1)
+	tr.Attach(inst)
+	inst.Run(300 * sim.Millisecond)
+	drops := 0
+	for _, r := range tr.Records() {
+		if r.Dropped {
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Error("no drops captured with 4-packet queues at 95% load")
+	}
+}
+
+func TestBuildDataset(t *testing.T) {
+	tr, inst := runTraced(t)
+	ing, _ := tr.ByDirection()
+	spec := NewFeatureSpec(inst.Cfg.Topo)
+	ds, err := BuildDataset(Ingress, ing, spec, DatasetConfig{Window: 5, LatencyBins: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Samples) != len(ing) {
+		t.Errorf("samples %d != records %d", len(ds.Samples), len(ing))
+	}
+	for i, s := range ds.Samples {
+		if len(s.Window) != 5 {
+			t.Fatalf("sample %d window len %d", i, len(s.Window))
+		}
+		for _, row := range s.Window {
+			if len(row) != spec.Width() {
+				t.Fatalf("sample %d feature width %d", i, len(row))
+			}
+		}
+		if s.Latency < 0 || s.Latency > 1 {
+			t.Fatalf("sample %d latency %v outside [0,1]", i, s.Latency)
+		}
+		if s.Dropped && s.Latency != 1.0 {
+			t.Fatalf("dropped sample %d latency %v, want 1.0", i, s.Latency)
+		}
+	}
+	if ds.Bounds.Hi <= ds.Bounds.Lo {
+		t.Error("degenerate latency bounds")
+	}
+	if len(ds.Interarrivals) != len(ing)-1 {
+		t.Errorf("interarrivals %d, want %d", len(ds.Interarrivals), len(ing)-1)
+	}
+	train, test := ds.Split(0.8)
+	if len(train)+len(test) != len(ds.Samples) || len(test) == 0 {
+		t.Error("bad split")
+	}
+}
+
+func TestBuildDatasetValidation(t *testing.T) {
+	if _, err := BuildDataset(Ingress, nil, FeatureSpec{}, DatasetConfig{Window: 0}); err == nil {
+		t.Error("zero window accepted")
+	}
+	// Empty records: safe defaults.
+	ds, err := BuildDataset(Ingress, nil, NewFeatureSpec(topo.DefaultConfig()), DatasetConfig{Window: 3})
+	if err != nil || len(ds.Samples) != 0 {
+		t.Error("empty dataset mishandled")
+	}
+}
+
+func TestBoundsFromRecords(t *testing.T) {
+	b := boundsFromRecords(nil)
+	if b.Hi <= b.Lo {
+		t.Error("empty bounds degenerate")
+	}
+	recs := []*TraceRecord{
+		{Entry: 0, Exit: sim.Millisecond, Matched: true},
+		{Entry: 0, Exit: 3 * sim.Millisecond, Matched: true},
+		{Entry: 0, Dropped: true, Matched: true},
+	}
+	b = boundsFromRecords(recs)
+	if math.Abs(b.Lo-0.001) > 1e-9 || math.Abs(b.Hi-0.003) > 1e-9 {
+		t.Errorf("bounds = %+v", b)
+	}
+}
+
+func TestTrainAndComposePipeline(t *testing.T) {
+	base := fastBase()
+	pcfg := DefaultPipelineConfig(base)
+	pcfg.SmallScaleDuration = 250 * sim.Millisecond
+	pcfg.Train = fastTrain()
+	art, err := RunPipeline(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.IngressSamples == 0 || art.EgressSamples == 0 {
+		t.Fatal("no training samples")
+	}
+	if art.SmallScaleTime <= 0 || art.TrainTime <= 0 {
+		t.Error("phase timings not recorded")
+	}
+	if art.IngressEval.LatencyMAE > 0.5 {
+		t.Errorf("ingress latency MAE %v implausibly bad", art.IngressEval.LatencyMAE)
+	}
+
+	// Compose at 4 clusters and compare against ground truth.
+	res, elapsed, err := art.Estimate(base, 4, 300*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Error("no elapsed time")
+	}
+	if len(res.FCTs) == 0 || len(res.RTTs) == 0 || len(res.Throughputs) == 0 {
+		t.Fatalf("composed run missing metrics: %d FCTs, %d RTTs, %d tputs",
+			len(res.FCTs), len(res.RTTs), len(res.Throughputs))
+	}
+
+	truthCfg := base
+	truthCfg.Topo = base.Topo.WithClusters(4)
+	truth, err := cluster.New(truthCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth.Run(300 * sim.Millisecond)
+	tres := truth.Results()
+
+	// The approximation is not exact, but the distributions must be in
+	// the same regime: median RTT within 4x, p99 FCT within 5x.
+	if len(tres.RTTs) > 0 && len(res.RTTs) > 0 {
+		mTruth := stats.Quantile(tres.RTTs, 0.5)
+		mMimic := stats.Quantile(res.RTTs, 0.5)
+		if mMimic > 4*mTruth || mMimic < mTruth/4 {
+			t.Errorf("median RTT: mimic %v vs truth %v", mMimic, mTruth)
+		}
+	}
+	w1 := metrics.W1(res.FCTs, tres.FCTs)
+	if math.IsNaN(w1) {
+		t.Error("FCT W1 not computable")
+	}
+	t.Logf("4-cluster composition: W1(FCT)=%.4f, flows mimic=%d truth=%d",
+		w1, len(res.FCTs), len(tres.FCTs))
+}
+
+func TestComposeValidation(t *testing.T) {
+	base := fastBase()
+	models := &MimicModels{Spec: NewFeatureSpec(base.Topo), Window: 4}
+	if _, err := Compose(base, models); err == nil {
+		t.Error("incomplete models accepted")
+	}
+	if _, err := Compose(base, nil); err == nil {
+		t.Error("nil models accepted")
+	}
+	cfg := base
+	cfg.Protocol = nil
+	if _, err := Compose(cfg, models); err == nil {
+		t.Error("nil protocol accepted")
+	}
+	cfg = base
+	cfg.Topo.Clusters = 1
+	if _, err := Compose(cfg, models); err == nil {
+		t.Error("1-cluster composition accepted")
+	}
+}
+
+func TestComposeRejectsStructureChange(t *testing.T) {
+	base := fastBase()
+	pcfg := DefaultPipelineConfig(base)
+	pcfg.SmallScaleDuration = 60 * sim.Millisecond
+	pcfg.Train = fastTrain()
+	art, err := RunPipeline(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := base
+	bad.Topo.RacksPerCluster++ // per-cluster structure change
+	bad.Topo.Clusters = 4
+	if _, err := Compose(bad, art.Models); err == nil {
+		t.Error("structure change accepted — scalable features violated")
+	}
+}
+
+func TestMimicModelSerialization(t *testing.T) {
+	base := fastBase()
+	pcfg := DefaultPipelineConfig(base)
+	pcfg.SmallScaleDuration = 100 * sim.Millisecond
+	pcfg.Train = fastTrain()
+	art, err := RunPipeline(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := art.Models.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadModels(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same prediction from both.
+	a := NewMimic(art.Models, 1, 7)
+	b := NewMimic(restored, 1, 7)
+	info := PacketInfo{LocalRack: 0, LocalServer: 1, SizeBytes: 1500, ArrivalTime: sim.Millisecond}
+	oa := a.ProcessIngress(info)
+	ob := b.ProcessIngress(info)
+	if oa != ob {
+		t.Errorf("restored model diverges: %+v vs %+v", oa, ob)
+	}
+	if _, err := LoadModels([]byte(`{}`)); err == nil {
+		t.Error("incomplete blob accepted")
+	}
+	if _, err := LoadModels([]byte(`garbage`)); err == nil {
+		t.Error("garbage blob accepted")
+	}
+}
+
+func TestMimicOutcomesBounded(t *testing.T) {
+	base := fastBase()
+	pcfg := DefaultPipelineConfig(base)
+	pcfg.SmallScaleDuration = 150 * sim.Millisecond
+	pcfg.Train = fastTrain()
+	art, err := RunPipeline(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMimic(art.Models, 1, 3)
+	rng := stats.NewStream(5)
+	lo := art.Models.Ingress.Bounds.Lo
+	hi := art.Models.Ingress.Bounds.Hi
+	for i := 0; i < 200; i++ {
+		info := PacketInfo{
+			LocalRack:   rng.Intn(2),
+			LocalServer: rng.Intn(4),
+			LocalAgg:    rng.Intn(2),
+			Core:        rng.Intn(4),
+			SizeBytes:   40 + rng.Intn(1460),
+			ArrivalTime: sim.Time(i) * 100 * sim.Microsecond,
+		}
+		out := m.ProcessIngress(info)
+		if out.Dropped {
+			continue
+		}
+		sec := out.Latency.Seconds()
+		if sec < lo-1e-12 || sec > hi+1e-12 {
+			t.Fatalf("latency %v outside bounds [%v, %v]", sec, lo, hi)
+		}
+	}
+}
+
+func TestMimicDeterminism(t *testing.T) {
+	base := fastBase()
+	pcfg := DefaultPipelineConfig(base)
+	pcfg.SmallScaleDuration = 100 * sim.Millisecond
+	pcfg.Train = fastTrain()
+	art, err := RunPipeline(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []Outcome {
+		m := NewMimic(art.Models, 2, 42)
+		var outs []Outcome
+		for i := 0; i < 50; i++ {
+			outs = append(outs, m.ProcessEgress(PacketInfo{
+				LocalServer: i % 4, SizeBytes: 1500,
+				ArrivalTime: sim.Time(i) * sim.Millisecond,
+			}))
+		}
+		return outs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("mimic diverged at %d", i)
+		}
+	}
+}
+
+func TestFeederGapScaling(t *testing.T) {
+	dm := &DirectionModel{
+		Interarrival:   stats.LogNormal{Mu: math.Log(0.001), Sigma: 0.1},
+		RatePktsPerSec: 1000,
+	}
+	rng := stats.NewStream(1)
+	if FeederGap(dm, rng, 2) != 0 {
+		t.Error("2-cluster composition needs no feeders")
+	}
+	mean := func(n int) float64 {
+		r := stats.NewStream(1)
+		var sum float64
+		for i := 0; i < 2000; i++ {
+			sum += FeederGap(dm, r, n).Seconds()
+		}
+		return sum / 2000
+	}
+	m4, m64 := mean(4), mean(64)
+	// At larger N the Mimic-Mimic fraction approaches 1, so gaps shrink
+	// toward the full measured interarrival.
+	if m64 >= m4 {
+		t.Errorf("feeder gaps should shrink with N: mean(4)=%v mean(64)=%v", m4, m64)
+	}
+	// n=4: fraction 2/3 ⇒ mean gap = 1ms / (2/3) = 1.5ms.
+	if math.Abs(m4-0.0015) > 0.0003 {
+		t.Errorf("mean gap at n=4 = %v, want ~0.0015", m4)
+	}
+	zero := &DirectionModel{}
+	if FeederGap(zero, rng, 8) != 0 {
+		t.Error("zero-rate model should disable feeders")
+	}
+}
+
+func TestComposedFeedersRun(t *testing.T) {
+	base := fastBase()
+	pcfg := DefaultPipelineConfig(base)
+	pcfg.SmallScaleDuration = 150 * sim.Millisecond
+	pcfg.Train = fastTrain()
+	art, err := RunPipeline(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Topo = base.Topo.WithClusters(4)
+	comp, err := Compose(cfg, art.Models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp.Run(200 * sim.Millisecond)
+	if comp.FeederEvents == 0 {
+		t.Error("no feeder events in a 4-cluster composition")
+	}
+	if comp.InferenceSteps() == 0 {
+		t.Error("no LSTM inference steps recorded")
+	}
+	if comp.FlowsCompleted == 0 {
+		t.Error("no flows completed in composition")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Ingress.String() != "ingress" || Egress.String() != "egress" {
+		t.Error("Direction names wrong")
+	}
+}
+
+func TestTransportNamesCoveredByComposition(t *testing.T) {
+	// Compose must work with every protocol (Figure 14 requires it). We
+	// only check construction here; the protocol-comparison benches run
+	// the full pipeline.
+	base := fastBase()
+	pcfg := DefaultPipelineConfig(base)
+	pcfg.SmallScaleDuration = 80 * sim.Millisecond
+	pcfg.Train = fastTrain()
+	art, err := RunPipeline(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range transport.Names() {
+		p, _ := transport.ByName(name)
+		cfg := base
+		cfg.Protocol = p
+		cfg.Topo = base.Topo.WithClusters(3)
+		if _, err := Compose(cfg, art.Models); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestFeederGapEmpiricalReplay(t *testing.T) {
+	dm := &DirectionModel{
+		Interarrival:     stats.LogNormal{Mu: math.Log(0.010), Sigma: 0.01},
+		GapSamples:       []float64{0.001, 0.001, 0.001},
+		UseEmpiricalGaps: true,
+		RatePktsPerSec:   100,
+	}
+	rng := stats.NewStream(1)
+	// Empirical gaps are 1ms; the lognormal fit says 10ms. Replay must
+	// draw from the samples.
+	g := FeederGap(dm, rng, 4).Seconds()
+	want := 0.001 / (2.0 / 3.0)
+	if math.Abs(g-want) > 1e-9 {
+		t.Errorf("empirical gap = %v, want %v", g, want)
+	}
+	dm.UseEmpiricalGaps = false
+	g = FeederGap(dm, rng, 4).Seconds()
+	if math.Abs(g-0.015) > 0.002 {
+		t.Errorf("lognormal gap = %v, want ~0.015", g)
+	}
+	// Empty samples fall back to the parametric fit.
+	dm.UseEmpiricalGaps = true
+	dm.GapSamples = nil
+	if FeederGap(dm, rng, 4) == 0 {
+		t.Error("empty empirical bank should fall back, not disable")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mimicnet/internal/ml"
+)
+
+// LatencyBounds are the observed in-cluster latency range used for
+// normalization and discretization. Dropped packets train toward
+// Hi + epsilon, i.e. the normalized value 1.0 (paper §5.2).
+type LatencyBounds struct {
+	Lo, Hi float64 // seconds
+}
+
+// boundsFromRecords computes the observed latency range.
+func boundsFromRecords(records []*TraceRecord) LatencyBounds {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range records {
+		if r.Dropped {
+			continue
+		}
+		l := r.Latency()
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	if math.IsInf(lo, 1) {
+		// No successful deliveries: pick a harmless default range.
+		return LatencyBounds{Lo: 0, Hi: 1e-3}
+	}
+	if hi <= lo {
+		hi = lo + 1e-6
+	}
+	return LatencyBounds{Lo: lo, Hi: hi}
+}
+
+// DatasetConfig controls window construction.
+type DatasetConfig struct {
+	Window      int // packets per training window (paper: ~BDP packets)
+	LatencyBins int // discretization D for the latency target (0 = continuous)
+}
+
+// DefaultDatasetConfig uses a 12-packet window — roughly the BDP of the
+// paper's network, the knee of its accuracy/speed trade-off (Appendix C).
+func DefaultDatasetConfig() DatasetConfig {
+	return DatasetConfig{Window: 12, LatencyBins: 100}
+}
+
+// Dataset is a per-direction training set plus the metadata needed to
+// reproduce feature extraction and recover latencies at inference time.
+type Dataset struct {
+	Dir     Direction
+	Spec    FeatureSpec
+	Bounds  LatencyBounds
+	Disc    ml.Discretizer
+	Samples []ml.Sample
+	// DropRate/ECNRate summarize target distributions (for reporting).
+	DropRate, ECNRate float64
+	// InfoBank holds the scalable packet descriptions observed in the
+	// trace; feeders replay randomly drawn entries (with fresh arrival
+	// times) to advance Mimic hidden state (paper §6).
+	InfoBank []PacketInfo
+	// Interarrivals are entry-time gaps in seconds for feeder fitting.
+	Interarrivals []float64
+}
+
+// BuildDataset converts boundary trace records (entry order) into
+// windowed training samples for one direction.
+func BuildDataset(dir Direction, records []*TraceRecord, spec FeatureSpec, cfg DatasetConfig) (*Dataset, error) {
+	if cfg.Window < 1 {
+		return nil, fmt.Errorf("core: window must be >= 1")
+	}
+	bounds := boundsFromRecords(records)
+	ds := &Dataset{
+		Dir: dir, Spec: spec, Bounds: bounds,
+		Disc: ml.Discretizer{Lo: bounds.Lo, Hi: bounds.Hi, D: cfg.LatencyBins},
+	}
+	ex := NewExtractor(spec, bounds.Lo, bounds.Hi)
+	width := spec.Width()
+	window := make([][]float64, 0, cfg.Window)
+	var lastEntry float64 = -1
+	var drops, ecns int
+	for _, r := range records {
+		feat := ex.Features(r.Info)
+		ds.InfoBank = append(ds.InfoBank, r.Info)
+		if lastEntry >= 0 {
+			ds.Interarrivals = append(ds.Interarrivals, r.Entry.Seconds()-lastEntry)
+		}
+		lastEntry = r.Entry.Seconds()
+
+		window = append(window, feat)
+		if len(window) > cfg.Window {
+			window = window[1:]
+		}
+		sample := ml.Sample{Dropped: r.Dropped, ECN: r.CEOut && !r.Info.CEIn}
+		if r.Dropped {
+			sample.Latency = 1.0 // Lmax + epsilon, normalized
+			drops++
+		} else {
+			sample.Latency = ds.Disc.Normalize(r.Latency())
+		}
+		if sample.ECN {
+			ecns++
+		}
+		// Pad early windows with zero vectors so no data is wasted.
+		win := make([][]float64, cfg.Window)
+		pad := cfg.Window - len(window)
+		for i := 0; i < pad; i++ {
+			win[i] = make([]float64, width)
+		}
+		copy(win[pad:], window)
+		sample.Window = win
+		ds.Samples = append(ds.Samples, sample)
+
+		// The training-time congestion estimator sees ground truth.
+		if r.Dropped {
+			ex.ObserveOutcome(bounds.Hi, true)
+		} else {
+			ex.ObserveOutcome(r.Latency(), false)
+		}
+	}
+	if n := len(ds.Samples); n > 0 {
+		ds.DropRate = float64(drops) / float64(n)
+		ds.ECNRate = float64(ecns) / float64(n)
+	}
+	return ds, nil
+}
+
+// Split divides samples chronologically into train and test sets (time
+// series must not leak future into past).
+func (ds *Dataset) Split(trainFrac float64) (train, test []ml.Sample) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		trainFrac = 0.8
+	}
+	cut := int(float64(len(ds.Samples)) * trainFrac)
+	return ds.Samples[:cut], ds.Samples[cut:]
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"mimicnet/internal/cluster"
+	"mimicnet/internal/metrics"
+	"mimicnet/internal/netsim"
+	"mimicnet/internal/sim"
+	"mimicnet/internal/topo"
+	"mimicnet/internal/transport"
+	"mimicnet/internal/workload"
+)
+
+// This file implements the paper's Appendix B: separate ingress/egress
+// model tuning and debugging via *hybrid* Mimic clusters. A hybrid
+// composition keeps a full-fidelity 2-cluster network but routes exactly
+// one traffic direction of the modeled cluster through the trained model,
+// while the opposite direction (and all internal traffic) continues
+// through the real simulated network. Comparing a hybrid run against the
+// all-real run isolates one direction's model error.
+//
+// The paper's duplicator trick — feeding the real network a copy of the
+// modeled direction's traffic so that cross-direction congestion coupling
+// is preserved — corresponds here to *not* removing the modeled cluster's
+// network: the packet is duplicated conceptually, with the model's output
+// used for delivery and the real network's copy retained for congestion.
+
+// HybridDirection selects which direction the model under test handles.
+type HybridDirection = Direction
+
+// Hybrid is a 2-cluster simulation in which one direction of the modeled
+// cluster's external traffic is served by the trained internal model.
+type Hybrid struct {
+	Dir       Direction
+	Sim       *sim.Simulator
+	Topo      *topo.Topology
+	Fabric    *netsim.Fabric
+	Collector *metrics.Collector
+
+	cfg   cluster.Config
+	mimic *Mimic
+	hosts []*transport.Host
+	env   *transport.Env
+	flows []workload.Flow
+
+	// ModelPackets counts packets served by the model under test.
+	ModelPackets uint64
+	ModelDrops   uint64
+
+	FlowsStarted, FlowsCompleted int
+}
+
+const hybridModeled = 1 // cluster 1 is modeled, as in training
+
+// NewHybrid builds the test framework for one direction. cfg must be the
+// 2-cluster base configuration the models were trained from.
+func NewHybrid(cfg cluster.Config, models *MimicModels, dir Direction) (*Hybrid, error) {
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("core: hybrid needs a protocol")
+	}
+	cfg.Topo = cfg.Topo.WithClusters(2)
+	cfg.Observable = 0
+	if err := cfg.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	if models == nil || models.Ingress == nil || models.Egress == nil {
+		return nil, fmt.Errorf("core: hybrid needs trained models")
+	}
+	t := topo.New(cfg.Topo)
+	cfg.Workload.HostLinkBps = cfg.Link.RateBps
+	flows, err := workload.Generate(t, cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New()
+	link := cfg.Link
+	link.SwitchQueue = cfg.QueueFactory()
+	fabric := netsim.NewFabric(s, t, link)
+
+	h := &Hybrid{
+		Dir: dir, Sim: s, Topo: t, Fabric: fabric,
+		Collector: metrics.NewCollector(),
+		cfg:       cfg,
+		mimic:     NewMimic(models, hybridModeled, cfg.Workload.Seed),
+		flows:     flows,
+	}
+	h.env = &transport.Env{
+		Sim:      s,
+		MSS:      netsim.MSS,
+		BDPBytes: cfg.BDPBytes(),
+		Inject:   h.inject,
+		OnRTT: func(f *transport.Flow, sec float64) {
+			if t.ClusterOf(f.Src) == cfg.Observable {
+				h.Collector.RTTSample(sec)
+			}
+		},
+		OnComplete: func(f *transport.Flow) {
+			h.Collector.FlowCompleted(strconv.FormatUint(f.ID, 10), s.Now())
+			h.FlowsCompleted++
+		},
+	}
+	h.hosts = make([]*transport.Host, t.Hosts())
+	for i := 0; i < t.Hosts(); i++ {
+		i := i
+		host := transport.NewHost(i, h.env, func(f *transport.Flow) *transport.Receiver {
+			r := transport.NewReceiver(h.env, f)
+			if transport.IsHoma(cfg.Protocol) {
+				bdp := h.env.BDPBytes
+				r.EnableGranting(func(remaining int64) int {
+					return transport.HomaPriority(remaining, bdp)
+				})
+			}
+			if t.ClusterOf(i) == cfg.Observable {
+				r.OnDeliver = func(n int64) { h.Collector.BytesReceived(i, n, s.Now()) }
+			}
+			return r
+		})
+		h.hosts[i] = host
+		fabric.RegisterHost(i, host.Receive)
+	}
+
+	if dir == Ingress {
+		// The ingress model handles packets descending into cluster 1;
+		// everything else rides the real network (Figure 15a).
+		fabric.SetIntercept(h.interceptIngress)
+	}
+
+	for _, f := range flows {
+		f := f
+		s.At(f.Start, func() { h.startFlow(f) })
+	}
+	return h, nil
+}
+
+// interceptIngress routes cluster-1-bound external packets through the
+// ingress model at the agg juncture. The real in-cluster copy is elided
+// (its congestion contribution is exactly what the model learned).
+func (h *Hybrid) interceptIngress(node int, pkt *netsim.Packet) bool {
+	t := h.Topo
+	if t.KindOf(node) != topo.KindAgg || t.ClusterOf(node) != hybridModeled {
+		return false
+	}
+	if t.ClusterOf(pkt.Dst) != hybridModeled {
+		return false
+	}
+	if pkt.Hop < 1 || t.KindOf(pkt.Path[pkt.Hop-1]) != topo.KindCore {
+		return false
+	}
+	h.ModelPackets++
+	out := h.mimic.ProcessIngress(BuildPacketInfo(t, hybridModeled, pkt, pkt.Dst, h.Sim.Now()))
+	if out.Dropped {
+		h.ModelDrops++
+		return true
+	}
+	if out.ECNMark {
+		pkt.CE = true
+	}
+	dst := pkt.Dst
+	h.Sim.After(out.Latency, func() { h.hosts[dst].Receive(pkt) })
+	return true
+}
+
+// inject routes transport packets. In Egress mode, packets leaving the
+// modeled cluster's hosts are served by the egress model at the same
+// juncture the model was trained on (host injection) and re-materialize
+// at the core; all other packets ride the real network (Figure 15b).
+func (h *Hybrid) inject(pkt *netsim.Packet) {
+	t := h.Topo
+	pkt.Path = t.Path(pkt.Src, pkt.Dst, pkt.Hash)
+	if h.Dir != Egress ||
+		t.ClusterOf(pkt.Src) != hybridModeled ||
+		t.ClusterOf(pkt.Dst) == hybridModeled {
+		h.Fabric.Inject(pkt)
+		return
+	}
+	h.ModelPackets++
+	out := h.mimic.ProcessEgress(BuildPacketInfo(t, hybridModeled, pkt, pkt.Src, h.Sim.Now()))
+	if out.Dropped {
+		h.ModelDrops++
+		return
+	}
+	if out.ECNMark {
+		pkt.CE = true
+	}
+	coreHop := -1
+	for i, n := range pkt.Path {
+		if t.KindOf(n) == topo.KindCore {
+			coreHop = i
+			break
+		}
+	}
+	if coreHop < 0 {
+		return
+	}
+	h.Sim.After(out.Latency, func() { h.Fabric.InjectAt(pkt, coreHop) })
+}
+
+func (h *Hybrid) startFlow(f workload.Flow) {
+	tf := &transport.Flow{
+		ID: f.ID, Src: f.Src, Dst: f.Dst, Bytes: f.Bytes,
+		Hash: topo.FlowHash(f.Src, f.Dst, f.ID),
+	}
+	sender := h.cfg.Protocol.NewSender(h.env, tf)
+	h.hosts[f.Src].AddSender(f.ID, sender)
+	h.Collector.FlowStarted(strconv.FormatUint(f.ID, 10), f.Src, f.Dst, f.Bytes, h.Sim.Now())
+	h.FlowsStarted++
+	sender.Start()
+}
+
+// Run advances the hybrid simulation.
+func (h *Hybrid) Run(until sim.Time) { h.Sim.RunUntil(until) }
+
+// Results snapshots metrics in the standard shape.
+func (h *Hybrid) Results() cluster.Results {
+	return cluster.Results{
+		FCTs:        h.Collector.FCTs(),
+		Throughputs: h.Collector.Throughputs(),
+		RTTs:        h.Collector.RTTs(),
+		FCTByID:     h.Collector.FCTByID(),
+		Events:      h.Sim.Processed(),
+		Packets:     h.Fabric.Injected,
+		Drops:       h.Fabric.Drops + h.ModelDrops,
+	}
+}
+
+// DirectionError runs a hybrid for each direction against the all-real
+// reference and returns the per-direction W1(FCT) — the paper's
+// mechanism for attributing approximation error to one model.
+func DirectionError(cfg cluster.Config, models *MimicModels, until sim.Time) (ingW1, egW1 float64, err error) {
+	ref := cfg
+	ref.Topo = cfg.Topo.WithClusters(2)
+	ref.Observable = 0
+	inst, err := cluster.New(ref)
+	if err != nil {
+		return 0, 0, err
+	}
+	inst.Run(until)
+	truth := inst.Results().FCTs
+
+	for _, dir := range []Direction{Ingress, Egress} {
+		hyb, err := NewHybrid(cfg, models, dir)
+		if err != nil {
+			return 0, 0, err
+		}
+		hyb.Run(until)
+		w := metrics.W1(hyb.Results().FCTs, truth)
+		if dir == Ingress {
+			ingW1 = w
+		} else {
+			egW1 = w
+		}
+	}
+	return ingW1, egW1, nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"mimicnet/internal/cluster"
+	"mimicnet/internal/ml"
+	"mimicnet/internal/sim"
+	"mimicnet/internal/stats"
+)
+
+// TrainConfig controls dataset construction and model training for both
+// directions.
+type TrainConfig struct {
+	Dataset   DatasetConfig
+	Model     ml.ModelConfig // Features and Window are overwritten per spec
+	TrainFrac float64        // chronological train split (default 0.8)
+
+	// SkipCongestionFeature ablates the §5.5 congestion-state feature.
+	SkipCongestionFeature bool
+}
+
+// DefaultTrainConfig returns a fast configuration suitable for the
+// scaled-down experiments.
+func DefaultTrainConfig() TrainConfig {
+	ds := DefaultDatasetConfig()
+	return TrainConfig{
+		Dataset:   ds,
+		Model:     ml.DefaultModelConfig(0, ds.Window),
+		TrainFrac: 0.8,
+	}
+}
+
+// TrainDirection fits one direction's internal model from its dataset and
+// returns the runtime artifact plus held-out evaluation.
+func TrainDirection(ds *Dataset, cfg TrainConfig) (*DirectionModel, ml.EvalResult, error) {
+	if len(ds.Samples) == 0 {
+		return nil, ml.EvalResult{}, fmt.Errorf("core: %v dataset is empty", ds.Dir)
+	}
+	mcfg := cfg.Model
+	mcfg.Features = ds.Spec.Width()
+	mcfg.Window = cfg.Dataset.Window
+	model, err := ml.NewModel(mcfg)
+	if err != nil {
+		return nil, ml.EvalResult{}, err
+	}
+	train, test := ds.Split(cfg.TrainFrac)
+	model.Train(train)
+	eval := model.Evaluate(test)
+
+	meanGap := stats.Mean(ds.Interarrivals)
+	rate := 0.0
+	if meanGap > 0 {
+		rate = 1 / meanGap
+	}
+	dm := &DirectionModel{
+		Model:          model,
+		Bounds:         ds.Bounds,
+		Disc:           ds.Disc,
+		Interarrival:   stats.FitLogNormal(ds.Interarrivals, meanGap),
+		GapSamples:     gapSubsample(ds.Interarrivals, 2048),
+		RatePktsPerSec: rate,
+		InfoBank:       bankSubsample(ds.InfoBank, 4096),
+		DropRate:       ds.DropRate,
+		ECNRate:        ds.ECNRate,
+	}
+	return dm, eval, nil
+}
+
+// gapSubsample bounds the empirical interarrival bank, mirroring
+// bankSubsample for float series.
+func gapSubsample(gaps []float64, max int) []float64 {
+	if len(gaps) <= max {
+		return append([]float64(nil), gaps...)
+	}
+	out := make([]float64, 0, max)
+	stride := float64(len(gaps)) / float64(max)
+	for i := 0; i < max; i++ {
+		out = append(out, gaps[int(float64(i)*stride)])
+	}
+	return out
+}
+
+// bankSubsample bounds the feeder replay bank (deterministic stride
+// subsampling keeps temporal coverage).
+func bankSubsample(bank []PacketInfo, max int) []PacketInfo {
+	if len(bank) <= max {
+		return bank
+	}
+	out := make([]PacketInfo, 0, max)
+	stride := float64(len(bank)) / float64(max)
+	for i := 0; i < max; i++ {
+		out = append(out, bank[int(float64(i)*stride)])
+	}
+	return out
+}
+
+// GenerateTrainingData runs the full-fidelity small-scale (2-cluster)
+// simulation with boundary taps on the modeled cluster and returns the
+// per-direction datasets (workflow step ❶, paper Figure 3).
+func GenerateTrainingData(base cluster.Config, duration sim.Time, cfg TrainConfig) (ing, eg *Dataset, inst *cluster.Simulation, err error) {
+	small := base
+	small.Topo = base.Topo.WithClusters(2)
+	small.Observable = 0
+	inst, err = cluster.New(small)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	const modeled = 1 // the non-observable cluster is the one we learn
+	tracer := NewTracer(inst.Topo, modeled)
+	tracer.Attach(inst)
+	inst.Run(duration)
+
+	spec := NewFeatureSpec(small.Topo)
+	spec.SkipCongestion = cfg.SkipCongestionFeature
+	ingRecs, egRecs := tracer.ByDirection()
+	if ing, err = BuildDataset(Ingress, ingRecs, spec, cfg.Dataset); err != nil {
+		return nil, nil, nil, err
+	}
+	if eg, err = BuildDataset(Egress, egRecs, spec, cfg.Dataset); err != nil {
+		return nil, nil, nil, err
+	}
+	return ing, eg, inst, nil
+}
+
+// TrainModels fits both directions and assembles the MimicModels
+// artifact (workflow steps ❷–❸).
+func TrainModels(ing, eg *Dataset, cfg TrainConfig) (*MimicModels, ml.EvalResult, ml.EvalResult, error) {
+	ingModel, ingEval, err := TrainDirection(ing, cfg)
+	if err != nil {
+		return nil, ml.EvalResult{}, ml.EvalResult{}, err
+	}
+	egModel, egEval, err := TrainDirection(eg, cfg)
+	if err != nil {
+		return nil, ml.EvalResult{}, ml.EvalResult{}, err
+	}
+	return &MimicModels{
+		Spec:    ing.Spec,
+		Window:  cfg.Dataset.Window,
+		Ingress: ingModel,
+		Egress:  egModel,
+	}, ingEval, egEval, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"mimicnet/internal/ml"
+	"mimicnet/internal/stats"
+)
+
+// UpdateModels incrementally retrains existing Mimic models on freshly
+// generated boundary data — the "incremental model updates when models
+// need retraining" direction from the paper's future work (§11,
+// Appendix H). The workload, protocol, or queue configuration may have
+// changed; the per-cluster topology structure must not (scalable-feature
+// invariant). Feeder statistics are refitted from the new trace; LSTM
+// weights warm-start from the previous models.
+func UpdateModels(models *MimicModels, ing, eg *Dataset, epochs int, lr float64) (*MimicModels, error) {
+	if models == nil || models.Ingress == nil || models.Egress == nil {
+		return nil, fmt.Errorf("core: no models to update")
+	}
+	if ing.Spec.Width() != models.Spec.Width() {
+		return nil, fmt.Errorf("core: feature width changed (%d -> %d); retrain from scratch",
+			models.Spec.Width(), ing.Spec.Width())
+	}
+	out := &MimicModels{Spec: models.Spec, Window: models.Window}
+	var err error
+	if out.Ingress, err = updateDirection(models.Ingress, ing, epochs, lr); err != nil {
+		return nil, err
+	}
+	if out.Egress, err = updateDirection(models.Egress, eg, epochs, lr); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func updateDirection(old *DirectionModel, ds *Dataset, epochs int, lr float64) (*DirectionModel, error) {
+	if len(ds.Samples) == 0 {
+		return nil, fmt.Errorf("core: %v update dataset is empty", ds.Dir)
+	}
+	// Clone weights via serialization so the original stays usable.
+	blob, err := old.Model.MarshalJSON()
+	if err != nil {
+		return nil, err
+	}
+	model := &ml.Model{}
+	if err := model.UnmarshalJSON(blob); err != nil {
+		return nil, err
+	}
+	// Latency normalization must keep the old bounds: the cloned weights
+	// were trained against them. Out-of-range new latencies clamp.
+	retargeted := make([]ml.Sample, len(ds.Samples))
+	for i, s := range ds.Samples {
+		retargeted[i] = s
+		if !s.Dropped {
+			// ds normalized with its own bounds; re-normalize raw value
+			// into the old model's scale.
+			raw := ds.Disc.Recover(s.Latency)
+			retargeted[i].Latency = old.Disc.Normalize(raw)
+		}
+	}
+	model.FineTune(retargeted, epochs, lr)
+
+	meanGap := stats.Mean(ds.Interarrivals)
+	rate := old.RatePktsPerSec
+	if meanGap > 0 {
+		rate = 1 / meanGap
+	}
+	return &DirectionModel{
+		Model:          model,
+		Bounds:         old.Bounds,
+		Disc:           old.Disc,
+		Interarrival:   stats.FitLogNormal(ds.Interarrivals, meanGap),
+		RatePktsPerSec: rate,
+		InfoBank:       bankSubsample(ds.InfoBank, 4096),
+		DropRate:       ds.DropRate,
+		ECNRate:        ds.ECNRate,
+	}, nil
+}

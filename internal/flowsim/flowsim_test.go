@@ -1,0 +1,136 @@
+package flowsim
+
+import (
+	"math"
+	"testing"
+
+	"mimicnet/internal/sim"
+	"mimicnet/internal/stats"
+	"mimicnet/internal/workload"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig(2)
+	cfg.Workload = workload.DefaultConfig(20_000)
+	cfg.Workload.Duration = 100 * sim.Millisecond
+	return cfg
+}
+
+func TestRunCompletesFlows(t *testing.T) {
+	res, err := Run(testConfig(), 2*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 || len(res.FCTs) == 0 {
+		t.Fatal("no flows completed")
+	}
+	if len(res.Throughputs) == 0 {
+		t.Fatal("no throughput samples")
+	}
+	for _, fct := range res.FCTs {
+		if fct <= 0 || math.IsNaN(fct) {
+			t.Fatalf("bad FCT %v", fct)
+		}
+	}
+	if res.Events == 0 {
+		t.Error("no rate recomputations")
+	}
+}
+
+func TestSingleFlowRateIsLineRate(t *testing.T) {
+	// One 125 KB flow on an idle network at 100 Mbps should take ~10 ms
+	// (fluid model: no slow start, no packet overhead).
+	cfg := testConfig()
+	cfg.Workload.FlowSizes = stats.Constant{Value: 125_000}
+	cfg.Workload.Load = 0.01 // ~1 flow/sec/host: 10 ms flows rarely overlap
+	cfg.Workload.Duration = 5 * sim.Second
+	res, err := Run(cfg, 10*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FCTs) == 0 {
+		t.Fatal("no flows")
+	}
+	isolated := 0
+	for _, fct := range res.FCTs {
+		if math.Abs(fct-0.01) < 1e-6 {
+			isolated++
+		}
+	}
+	// The vast majority of flows run in isolation at this load and must
+	// finish in exactly bytes/linerate.
+	if frac := float64(isolated) / float64(len(res.FCTs)); frac < 0.8 {
+		t.Fatalf("only %.0f%% of flows at line rate; fluid model broken", frac*100)
+	}
+}
+
+func TestFairSharing(t *testing.T) {
+	// Two simultaneous equal flows into the same destination host share
+	// the bottleneck: each should finish in ~2x the isolated time.
+	cfg := testConfig()
+	cfg.Workload.FlowSizes = stats.Constant{Value: 125_000}
+	cfg.Workload.Load = 0.01
+	cfg.Workload.Duration = 5 * sim.Second
+	res1, _ := Run(cfg, 10*sim.Second)
+	if len(res1.FCTs) == 0 {
+		t.Fatal("no isolated flows")
+	}
+	iso := stats.Quantile(res1.FCTs, 0.5)
+
+	// Synthesize contention by doubling load so flows overlap heavily.
+	cfg.Workload.Load = 0.9
+	cfg.Workload.Duration = 200 * sim.Millisecond
+	res2, _ := Run(cfg, 10*sim.Second)
+	if len(res2.FCTs) < 5 {
+		t.Skip("not enough overlapping flows")
+	}
+	mean := stats.Mean(res2.FCTs)
+	if mean <= iso {
+		t.Errorf("contended mean FCT %v should exceed isolated %v", mean, iso)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Run(testConfig(), sim.Second)
+	b, _ := Run(testConfig(), sim.Second)
+	if a.Completed != b.Completed || len(a.FCTs) != len(b.FCTs) {
+		t.Fatal("flowsim runs diverged")
+	}
+	for i := range a.FCTs {
+		if a.FCTs[i] != b.FCTs[i] {
+			t.Fatal("FCT mismatch between identical runs")
+		}
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.Topo.Clusters = 0
+	if _, err := Run(cfg, sim.Second); err == nil {
+		t.Error("invalid topo accepted")
+	}
+	cfg = testConfig()
+	cfg.Workload.Load = 0
+	if _, err := Run(cfg, sim.Second); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestHorizonCutsOffFlows(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workload.FlowSizes = stats.Constant{Value: 100e6} // huge flows
+	res, err := Run(cfg, 50*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 {
+		t.Errorf("%d huge flows completed before horizon", res.Completed)
+	}
+}
+
+func TestFCTByIDConsistent(t *testing.T) {
+	res, _ := Run(testConfig(), 2*sim.Second)
+	if len(res.FCTByID) != len(res.FCTs) {
+		t.Errorf("FCTByID has %d entries, FCTs %d", len(res.FCTByID), len(res.FCTs))
+	}
+}

@@ -1,0 +1,75 @@
+package ml
+
+// The paper: "MimicNet can support any ML model. Given our desire for
+// generality, however, it currently leverages one particularly promising
+// class of models: LSTMs" (§5.5). Cell abstracts the trunk layer so the
+// framework genuinely supports alternative model classes; this repo ships
+// LSTM (the default), GRU, and a windowed MLP baseline.
+
+// CellState is a cell's opaque recurrent state.
+type CellState interface{}
+
+// CellCache is a cell's opaque per-step activation record for BPTT.
+type CellCache interface{}
+
+// Cell is one trainable trunk layer processed step-by-step over a packet
+// stream.
+type Cell interface {
+	// InSize and HiddenSize give the layer's dimensions.
+	InSize() int
+	HiddenSize() int
+	// Params returns the trainable parameters.
+	Params() []*Matrix
+	// FreshState returns a zeroed recurrent state.
+	FreshState() CellState
+	// StepState advances the state by one input and returns the hidden
+	// output; when train is true it also returns a cache for backward.
+	StepState(st CellState, x []float64, train bool) ([]float64, CellCache)
+	// StepBackward consumes one step's cache with the gradients flowing
+	// into its hidden output (dh) and carried state (dcarry; nil when the
+	// cell has no carry), accumulating parameter gradients and returning
+	// gradients for the previous step and input.
+	StepBackward(cache CellCache, dh, dcarry []float64) (dhPrev, dcarryPrev, dx []float64)
+	// CellType names the cell class for serialization.
+	CellType() string
+}
+
+// LSTM adapters to the Cell interface (the concrete methods live in
+// layers.go).
+
+// InSize returns the input width.
+func (l *LSTM) InSize() int { return l.In }
+
+// HiddenSize returns the hidden width.
+func (l *LSTM) HiddenSize() int { return l.Hidden }
+
+// FreshState returns a zeroed LSTM state.
+func (l *LSTM) FreshState() CellState { return l.NewState() }
+
+// CellType names the class.
+func (l *LSTM) CellType() string { return "lstm" }
+
+// StepState adapts Step to the Cell interface.
+func (l *LSTM) StepState(st CellState, x []float64, train bool) ([]float64, CellCache) {
+	state := st.(*LSTMState)
+	var cache *lstmCache
+	if train {
+		cache = &lstmCache{}
+	}
+	h := l.Step(state, x, cache)
+	if cache == nil {
+		return h, nil
+	}
+	return h, cache
+}
+
+// StepBackward adapts stepBackward to the Cell interface. The LSTM's
+// carry is its cell state.
+func (l *LSTM) StepBackward(cache CellCache, dh, dcarry []float64) (dhPrev, dcarryPrev, dx []float64) {
+	if dcarry == nil {
+		dcarry = Zeros(l.Hidden)
+	}
+	return l.stepBackward(cache.(*lstmCache), dh, dcarry)
+}
+
+var _ Cell = (*LSTM)(nil)

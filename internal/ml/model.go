@@ -1,0 +1,407 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mimicnet/internal/stats"
+)
+
+// ModelConfig holds the hyper-parameters of a Mimic internal model; the
+// tunable ones (WBCE weight, Huber delta, layers, hidden size, epochs,
+// learning rate) are exactly the knobs the paper's hyper-parameter tuning
+// phase explores (§7.2).
+type ModelConfig struct {
+	Features int `json:"features"` // per-packet feature width
+	Hidden   int `json:"hidden"`   // LSTM hidden size
+	Layers   int `json:"layers"`   // stacked LSTM count
+	Window   int `json:"window"`   // packets per training window
+
+	HuberDelta float64        `json:"huber_delta"` // Huber threshold
+	LatLoss    RegressionLoss `json:"lat_loss"`    // latency loss selection
+	DropWeight float64        `json:"drop_weight"` // WBCE w; 0 => plain BCE
+
+	// Loss mixing weights. The paper favors latency over classification
+	// because regression is the harder task (§5.4).
+	LatWeight float64 `json:"lat_weight"`
+	DropLossW float64 `json:"drop_loss_w"`
+	ECNLossW  float64 `json:"ecn_loss_w"`
+
+	LR       float64 `json:"lr"`
+	Epochs   int     `json:"epochs"`
+	ClipNorm float64 `json:"clip_norm"`
+	Seed     int64   `json:"seed"`
+
+	// CellType selects the trunk class: "lstm" (default), "gru", or
+	// "mlp" (non-recurrent windowed baseline).
+	CellType string `json:"cell_type,omitempty"`
+}
+
+// DefaultModelConfig returns a small, fast configuration with the paper's
+// recommended loss setup (Huber δ=1, WBCE w=0.7).
+func DefaultModelConfig(features, window int) ModelConfig {
+	return ModelConfig{
+		Features: features, Hidden: 24, Layers: 1, Window: window,
+		HuberDelta: 1.0, LatLoss: LossHuber, DropWeight: 0.7,
+		LatWeight: 2.0, DropLossW: 1.0, ECNLossW: 0.5,
+		LR: 3e-3, Epochs: 4, ClipNorm: 5.0, Seed: 1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c ModelConfig) Validate() error {
+	switch {
+	case c.Features < 1:
+		return fmt.Errorf("ml: features must be >= 1")
+	case c.Hidden < 1:
+		return fmt.Errorf("ml: hidden must be >= 1")
+	case c.Layers < 1:
+		return fmt.Errorf("ml: layers must be >= 1")
+	case c.Window < 1:
+		return fmt.Errorf("ml: window must be >= 1")
+	case c.LR <= 0:
+		return fmt.Errorf("ml: learning rate must be positive")
+	case c.Epochs < 1:
+		return fmt.Errorf("ml: epochs must be >= 1")
+	}
+	switch c.CellType {
+	case "", "lstm", "gru":
+	case "mlp":
+		// The windowed MLP has no recurrent path to route gradients to
+		// earlier steps of a layer below it, so stacking would silently
+		// truncate gradients. Keep the baseline honest: one layer only.
+		if c.Layers > 1 {
+			return fmt.Errorf("ml: mlp trunk supports a single layer")
+		}
+	default:
+		return fmt.Errorf("ml: unknown cell type %q", c.CellType)
+	}
+	return nil
+}
+
+// Sample is one training example: a window of packet feature vectors and
+// the targets for the window's final packet.
+type Sample struct {
+	Window  [][]float64
+	Latency float64 // normalized to [0,1] by the caller's Discretizer
+	Dropped bool
+	ECN     bool
+}
+
+// Prediction is the model output for one packet.
+type Prediction struct {
+	Latency float64 // normalized [0,1]
+	PDrop   float64
+	PECN    float64
+}
+
+// Model is the Mimic internal model: a stacked-LSTM trunk over packet
+// feature windows with three heads predicting latency, drop probability,
+// and ECN-mark probability (paper §5.2, §5.5).
+type Model struct {
+	Cfg      ModelConfig
+	Trunk    []Cell
+	LatHead  *Linear
+	DropHead *Linear
+	ECNHead  *Linear
+}
+
+// NewModel builds and initializes a model.
+func NewModel(cfg ModelConfig) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := stats.NewStream(cfg.Seed)
+	m := &Model{Cfg: cfg}
+	in := cfg.Features
+	for i := 0; i < cfg.Layers; i++ {
+		switch cfg.CellType {
+		case "gru":
+			m.Trunk = append(m.Trunk, NewGRU(in, cfg.Hidden, s))
+		case "mlp":
+			m.Trunk = append(m.Trunk, NewWindowMLP(in, cfg.Hidden, cfg.Window, s))
+		default:
+			m.Trunk = append(m.Trunk, NewLSTM(in, cfg.Hidden, s))
+		}
+		in = cfg.Hidden
+	}
+	m.LatHead = NewLinear(cfg.Hidden, 1, s)
+	m.DropHead = NewLinear(cfg.Hidden, 1, s)
+	m.ECNHead = NewLinear(cfg.Hidden, 1, s)
+	return m, nil
+}
+
+// Params returns all trainable parameters.
+func (m *Model) Params() []*Matrix {
+	var ps []*Matrix
+	for _, l := range m.Trunk {
+		ps = append(ps, l.Params()...)
+	}
+	ps = append(ps, m.LatHead.Params()...)
+	ps = append(ps, m.DropHead.Params()...)
+	ps = append(ps, m.ECNHead.Params()...)
+	return ps
+}
+
+func (m *Model) heads(h []float64) Prediction {
+	return Prediction{
+		Latency: Sigmoid(m.LatHead.Forward(h)[0]),
+		PDrop:   Sigmoid(m.DropHead.Forward(h)[0]),
+		PECN:    Sigmoid(m.ECNHead.Forward(h)[0]),
+	}
+}
+
+// Forward predicts for one window (inference).
+func (m *Model) Forward(window [][]float64) Prediction {
+	tr := ForwardWindow(m.Trunk, window, false)
+	return m.heads(tr.Outputs)
+}
+
+// trainStep runs forward+backward for one sample and returns the loss.
+func (m *Model) trainStep(s Sample) float64 {
+	tr := ForwardWindow(m.Trunk, s.Window, true)
+	h := tr.Outputs
+	pred := m.heads(h)
+
+	latTarget := s.Latency
+	dropTarget, ecnTarget := 0.0, 0.0
+	if s.Dropped {
+		dropTarget = 1
+	}
+	if s.ECN {
+		ecnTarget = 1
+	}
+
+	latLoss, dLat := m.Cfg.LatLoss.Eval(pred.Latency, latTarget, m.Cfg.HuberDelta)
+	var dropLoss, dDrop float64
+	if m.Cfg.DropWeight > 0 {
+		dropLoss, dDrop = WBCE(pred.PDrop, dropTarget, m.Cfg.DropWeight)
+	} else {
+		dropLoss, dDrop = BCE(pred.PDrop, dropTarget)
+	}
+	ecnLoss, dECN := BCE(pred.PECN, ecnTarget)
+
+	total := m.Cfg.LatWeight*latLoss + m.Cfg.DropLossW*dropLoss + m.Cfg.ECNLossW*ecnLoss
+
+	// Backprop through sigmoid heads into the shared hidden state.
+	dLatLogit := m.Cfg.LatWeight * dLat * DSigmoid(pred.Latency)
+	dDropLogit := m.Cfg.DropLossW * dDrop * DSigmoid(pred.PDrop)
+	dECNLogit := m.Cfg.ECNLossW * dECN * DSigmoid(pred.PECN)
+
+	dh := Zeros(len(h))
+	AddTo(dh, m.LatHead.Backward(h, []float64{dLatLogit}))
+	AddTo(dh, m.DropHead.Backward(h, []float64{dDropLogit}))
+	AddTo(dh, m.ECNHead.Backward(h, []float64{dECNLogit}))
+	tr.Backward(dh)
+	return total
+}
+
+// TrainResult reports per-epoch average losses and total wall-clock-free
+// work estimates.
+type TrainResult struct {
+	EpochLoss []float64
+	Samples   int
+}
+
+// Train fits the model to samples with Adam, shuffling each epoch.
+func (m *Model) Train(samples []Sample) TrainResult {
+	opt := NewAdam(m.Cfg.LR)
+	rng := stats.NewStream(m.Cfg.Seed + 1)
+	params := m.Params()
+	res := TrainResult{Samples: len(samples)}
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var sum float64
+		for _, i := range idx {
+			sum += m.trainStep(samples[i])
+			if m.Cfg.ClipNorm > 0 {
+				ClipGrads(params, m.Cfg.ClipNorm)
+			}
+			opt.Step(params)
+		}
+		if len(samples) > 0 {
+			res.EpochLoss = append(res.EpochLoss, sum/float64(len(samples)))
+		}
+	}
+	return res
+}
+
+// EvalResult aggregates test-set quality per task.
+type EvalResult struct {
+	LatencyMAE   float64 // on the normalized scale
+	DropRateTrue float64
+	DropRatePred float64 // expected drop rate from predicted probabilities
+	ECNRateTrue  float64
+	ECNRatePred  float64
+	Loss         float64
+}
+
+// Evaluate scores samples without updating parameters.
+func (m *Model) Evaluate(samples []Sample) EvalResult {
+	var res EvalResult
+	if len(samples) == 0 {
+		return res
+	}
+	for _, s := range samples {
+		p := m.Forward(s.Window)
+		latTarget := s.Latency
+		l, _ := MAE(p.Latency, latTarget)
+		res.LatencyMAE += l
+		res.DropRatePred += p.PDrop
+		res.ECNRatePred += p.PECN
+		if s.Dropped {
+			res.DropRateTrue++
+		}
+		if s.ECN {
+			res.ECNRateTrue++
+		}
+		latLoss, _ := m.Cfg.LatLoss.Eval(p.Latency, latTarget, m.Cfg.HuberDelta)
+		res.Loss += latLoss
+	}
+	n := float64(len(samples))
+	res.LatencyMAE /= n
+	res.DropRateTrue /= n
+	res.DropRatePred /= n
+	res.ECNRateTrue /= n
+	res.ECNRatePred /= n
+	res.Loss /= n
+	return res
+}
+
+// FLOPsPerStep estimates floating-point operations for one inference
+// step (one packet through trunk + heads), for the Figure 23 compute
+// accounting.
+func (m *Model) FLOPsPerStep() float64 {
+	var f float64
+	in := m.Cfg.Features
+	for range m.Trunk {
+		f += 2 * float64(4*m.Cfg.Hidden*(in+m.Cfg.Hidden))
+		in = m.Cfg.Hidden
+	}
+	f += 3 * 2 * float64(m.Cfg.Hidden) // three scalar heads
+	return f
+}
+
+// modelJSON is the serialized form.
+type modelJSON struct {
+	Cfg      ModelConfig `json:"cfg"`
+	Trunk    []*cellJSON `json:"trunk"`
+	LatHead  *linJSON    `json:"lat_head"`
+	DropHead *linJSON    `json:"drop_head"`
+	ECNHead  *linJSON    `json:"ecn_head"`
+}
+
+// cellJSON serializes any supported trunk cell. LSTM/GRU use Wx/Wh/B;
+// the MLP uses W/B with its window size.
+type cellJSON struct {
+	Type       string `json:"type"`
+	In, Hidden int
+	Window     int     `json:"window,omitempty"`
+	Wx, Wh     *Matrix `json:",omitempty"`
+	W          *Matrix `json:",omitempty"`
+	B          *Matrix
+}
+
+type linJSON struct {
+	W, B *Matrix
+}
+
+func cellToJSON(c Cell) (*cellJSON, error) {
+	switch l := c.(type) {
+	case *LSTM:
+		return &cellJSON{Type: "lstm", In: l.In, Hidden: l.Hidden, Wx: l.Wx, Wh: l.Wh, B: l.B}, nil
+	case *GRU:
+		return &cellJSON{Type: "gru", In: l.In, Hidden: l.Hidden, Wx: l.Wx, Wh: l.Wh, B: l.B}, nil
+	case *WindowMLP:
+		return &cellJSON{Type: "mlp", In: l.In, Hidden: l.Hidden, Window: l.Window, W: l.W, B: l.B}, nil
+	}
+	return nil, fmt.Errorf("ml: cannot serialize cell type %q", c.CellType())
+}
+
+func cellFromJSON(cj *cellJSON) (Cell, error) {
+	switch cj.Type {
+	case "lstm":
+		return &LSTM{In: cj.In, Hidden: cj.Hidden, Wx: cj.Wx, Wh: cj.Wh, B: cj.B}, nil
+	case "gru":
+		return &GRU{In: cj.In, Hidden: cj.Hidden, Wx: cj.Wx, Wh: cj.Wh, B: cj.B}, nil
+	case "mlp":
+		return &WindowMLP{In: cj.In, Hidden: cj.Hidden, Window: cj.Window, W: cj.W, B: cj.B}, nil
+	}
+	return nil, fmt.Errorf("ml: unknown serialized cell type %q", cj.Type)
+}
+
+// MarshalJSON serializes the model weights and config.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	mj := modelJSON{Cfg: m.Cfg}
+	for _, l := range m.Trunk {
+		cj, err := cellToJSON(l)
+		if err != nil {
+			return nil, err
+		}
+		mj.Trunk = append(mj.Trunk, cj)
+	}
+	mj.LatHead = &linJSON{m.LatHead.W, m.LatHead.B}
+	mj.DropHead = &linJSON{m.DropHead.W, m.DropHead.B}
+	mj.ECNHead = &linJSON{m.ECNHead.W, m.ECNHead.B}
+	return json.Marshal(mj)
+}
+
+// UnmarshalJSON restores a serialized model.
+func (m *Model) UnmarshalJSON(b []byte) error {
+	var mj modelJSON
+	if err := json.Unmarshal(b, &mj); err != nil {
+		return err
+	}
+	m.Cfg = mj.Cfg
+	m.Trunk = nil
+	for _, cj := range mj.Trunk {
+		c, err := cellFromJSON(cj)
+		if err != nil {
+			return err
+		}
+		m.Trunk = append(m.Trunk, c)
+	}
+	m.LatHead = &Linear{W: mj.LatHead.W, B: mj.LatHead.B}
+	m.DropHead = &Linear{W: mj.DropHead.W, B: mj.DropHead.B}
+	m.ECNHead = &Linear{W: mj.ECNHead.W, B: mj.ECNHead.B}
+	return nil
+}
+
+// StatefulModel wraps a trained model for streaming per-packet inference
+// with persistent hidden state, as embedded in Mimic clusters.
+type StatefulModel struct {
+	model  *Model
+	runner *StatefulRunner
+	// Steps counts inference steps for FLOPs accounting.
+	Steps uint64
+}
+
+// NewStatefulModel builds a streaming wrapper around a trained model.
+func NewStatefulModel(m *Model) *StatefulModel {
+	return &StatefulModel{model: m, runner: NewStatefulRunner(m.Trunk)}
+}
+
+// Predict feeds one packet's features and returns the prediction.
+func (s *StatefulModel) Predict(x []float64) Prediction {
+	s.Steps++
+	h := s.runner.Step(x)
+	return s.model.heads(h)
+}
+
+// Advance updates hidden state for a feeder packet and discards the
+// output (paper §6: feeders update internal models' state as if the
+// packets were routed, without creating or sending them).
+func (s *StatefulModel) Advance(x []float64) {
+	s.Steps++
+	s.runner.Step(x)
+}
+
+// Reset clears the recurrent state.
+func (s *StatefulModel) Reset() { s.runner.Reset() }
+
+// Model returns the wrapped model.
+func (s *StatefulModel) Model() *Model { return s.model }

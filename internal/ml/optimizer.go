@@ -1,0 +1,81 @@
+package ml
+
+import "math"
+
+// Optimizer applies accumulated gradients to parameters.
+type Optimizer interface {
+	Step(params []*Matrix)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Matrix][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*Matrix][]float64)}
+}
+
+// Step applies one update and zeroes gradients.
+func (o *SGD) Step(params []*Matrix) {
+	for _, p := range params {
+		v := o.vel[p]
+		if v == nil {
+			v = make([]float64, len(p.Data))
+			o.vel[p] = v
+		}
+		for i := range p.Data {
+			v[i] = o.Momentum*v[i] - o.LR*p.Grad[i]
+			p.Data[i] += v[i]
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba), the de facto default
+// for LSTM training.
+type Adam struct {
+	LR           float64
+	Beta1, Beta2 float64
+	Eps          float64
+	t            int
+	m, v         map[*Matrix][]float64
+}
+
+// NewAdam returns Adam with standard hyper-parameters.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Matrix][]float64),
+		v: make(map[*Matrix][]float64),
+	}
+}
+
+// Step applies one update and zeroes gradients.
+func (o *Adam) Step(params []*Matrix) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m := o.m[p]
+		v := o.v[p]
+		if m == nil {
+			m = make([]float64, len(p.Data))
+			v = make([]float64, len(p.Data))
+			o.m[p] = m
+			o.v[p] = v
+		}
+		for i := range p.Data {
+			g := p.Grad[i]
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			p.Data[i] -= o.LR * mh / (math.Sqrt(vh) + o.Eps)
+			p.Grad[i] = 0
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package netsim
+
+import (
+	"fmt"
+
+	"mimicnet/internal/sim"
+	"mimicnet/internal/topo"
+)
+
+// LinkConfig sets the physical parameters of every link, mirroring the
+// paper's evaluation setup (100 Mbps, 500 µs).
+type LinkConfig struct {
+	RateBps float64  // line rate in bits/second
+	Delay   sim.Time // one-way propagation delay
+
+	// SwitchQueue builds the queue for switch-to-anything ports;
+	// HostQueue for host NIC egress ports. HostQueue defaults to
+	// SwitchQueue when nil.
+	SwitchQueue QueueFactory
+	HostQueue   QueueFactory
+}
+
+// DefaultLinkConfig returns the paper's base parameters with DropTail
+// queues of 100 packets.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{
+		RateBps:     100e6,
+		Delay:       500 * sim.Microsecond,
+		SwitchQueue: DropTailFactory(100),
+	}
+}
+
+// Taps are instrumentation hooks. MimicNet's training data comes entirely
+// from taps placed at the modeled cluster's Core-facing and Host-facing
+// junctures (paper §5.1); arbitrary additional instrumentation of the
+// observable cluster uses the same mechanism.
+type Taps struct {
+	// OnSend fires when a packet is offered to the port from->to (before
+	// any queue/drop decision).
+	OnSend func(from, to int, pkt *Packet, at sim.Time)
+	// OnArrive fires when a packet arrives at a node (host or switch).
+	OnArrive func(node int, pkt *Packet, at sim.Time)
+	// OnDrop fires when the port from->to rejects a packet.
+	OnDrop func(from, to int, pkt *Packet, at sim.Time)
+}
+
+// Fabric wires a FatTree topology into ports and forwards packets along
+// their precomputed up-down paths.
+type Fabric struct {
+	Topo *topo.Topology
+	Sim  *sim.Simulator
+	Link LinkConfig
+	Taps Taps
+
+	ports map[[2]int]*Port
+	hosts []func(*Packet)
+
+	// intercept, when set, is consulted on every node arrival; returning
+	// true swallows the packet (MimicNet's shim layer "intercepts packets
+	// arriving at the borders of the cluster", paper §7.1).
+	intercept func(node int, pkt *Packet) bool
+
+	// counters
+	Injected    uint64
+	Delivered   uint64
+	Drops       uint64
+	Intercepted uint64
+}
+
+// NewFabric builds every directed port of the topology.
+func NewFabric(s *sim.Simulator, t *topo.Topology, link LinkConfig) *Fabric {
+	if link.SwitchQueue == nil {
+		panic("netsim: LinkConfig.SwitchQueue is required")
+	}
+	if link.HostQueue == nil {
+		link.HostQueue = link.SwitchQueue
+	}
+	f := &Fabric{
+		Topo:  t,
+		Sim:   s,
+		Link:  link,
+		ports: make(map[[2]int]*Port),
+		hosts: make([]func(*Packet), t.Hosts()),
+	}
+	for _, l := range t.Links() {
+		f.addPort(l.A, l.B)
+		f.addPort(l.B, l.A)
+	}
+	return f
+}
+
+func (f *Fabric) addPort(from, to int) {
+	var q Queue
+	if f.Topo.KindOf(from) == topo.KindHost {
+		q = f.Link.HostQueue()
+	} else {
+		q = f.Link.SwitchQueue()
+	}
+	key := [2]int{from, to}
+	p := NewPort(f.Sim, from, to, f.Link.RateBps, f.Link.Delay, q, func(pkt *Packet) {
+		f.arrive(to, pkt)
+	})
+	p.SetDropHook(func(pkt *Packet) {
+		f.Drops++
+		if f.Taps.OnDrop != nil {
+			f.Taps.OnDrop(from, to, pkt, f.Sim.Now())
+		}
+	})
+	f.ports[key] = p
+}
+
+// Port returns the directed port from->to, or nil if no such link exists.
+func (f *Fabric) Port(from, to int) *Port { return f.ports[[2]int{from, to}] }
+
+// RegisterHost sets the receive callback for a host.
+func (f *Fabric) RegisterHost(host int, recv func(*Packet)) {
+	f.hosts[host] = recv
+}
+
+// Inject sends a packet from its source host. The packet's Path must
+// start at the source host; the fabric takes over from there.
+func (f *Fabric) Inject(pkt *Packet) {
+	if len(pkt.Path) == 0 || pkt.Path[0] != pkt.Src {
+		panic(fmt.Sprintf("netsim: packet path must start at source: %v", pkt))
+	}
+	f.Injected++
+	pkt.Hop = 0
+	if len(pkt.Path) == 1 {
+		// Loopback: deliver immediately.
+		f.deliverLocal(pkt)
+		return
+	}
+	f.forward(pkt)
+}
+
+func (f *Fabric) deliverLocal(pkt *Packet) {
+	f.Delivered++
+	if recv := f.hosts[pkt.Dst]; recv != nil {
+		recv(pkt)
+	}
+}
+
+func (f *Fabric) forward(pkt *Packet) {
+	from := pkt.Path[pkt.Hop]
+	to := pkt.NextNode()
+	port := f.ports[[2]int{from, to}]
+	if port == nil {
+		panic(fmt.Sprintf("netsim: no port %d->%d for %v", from, to, pkt))
+	}
+	if f.Taps.OnSend != nil {
+		f.Taps.OnSend(from, to, pkt, f.Sim.Now())
+	}
+	port.Send(pkt)
+}
+
+// SetIntercept installs the arrival interceptor (nil to clear).
+func (f *Fabric) SetIntercept(fn func(node int, pkt *Packet) bool) {
+	f.intercept = fn
+}
+
+// InjectAt resumes a packet's journey from the given hop index of its
+// path, as if it had just arrived at pkt.Path[hop]. Mimic shims use this
+// to hand predicted egress packets to the real core switches.
+func (f *Fabric) InjectAt(pkt *Packet, hop int) {
+	if hop < 0 || hop >= len(pkt.Path) {
+		panic(fmt.Sprintf("netsim: InjectAt hop %d out of range for %v", hop, pkt))
+	}
+	f.Injected++
+	pkt.Hop = hop
+	if hop == len(pkt.Path)-1 {
+		f.deliverLocal(pkt)
+		return
+	}
+	f.forward(pkt)
+}
+
+func (f *Fabric) arrive(node int, pkt *Packet) {
+	pkt.Hop++
+	if f.Taps.OnArrive != nil {
+		f.Taps.OnArrive(node, pkt, f.Sim.Now())
+	}
+	if f.intercept != nil && f.intercept(node, pkt) {
+		f.Intercepted++
+		return
+	}
+	if pkt.Hop == len(pkt.Path)-1 {
+		if node != pkt.Dst {
+			panic(fmt.Sprintf("netsim: packet terminated at %d, not dst %d", node, pkt.Dst))
+		}
+		f.deliverLocal(pkt)
+		return
+	}
+	f.forward(pkt)
+}
+
+// SetLinkState marks the undirected link a<->b up or down. Packets
+// forwarded into a down link are dropped (and counted/tapped as drops).
+// MimicNet itself assumes failure-free FatTrees (paper §4.2); this
+// capability exists so the full-fidelity substrate can explore the
+// Appendix-A relaxation of that assumption.
+func (f *Fabric) SetLinkState(a, b int, up bool) {
+	for _, key := range [][2]int{{a, b}, {b, a}} {
+		if p, ok := f.ports[key]; ok {
+			p.Down = !up
+		}
+	}
+}
+
+// FailLinkAt schedules a link failure (and optional recovery) in
+// simulated time.
+func (f *Fabric) FailLinkAt(a, b int, at, recoverAt sim.Time) {
+	f.Sim.At(at, func() { f.SetLinkState(a, b, false) })
+	if recoverAt > at {
+		f.Sim.At(recoverAt, func() { f.SetLinkState(a, b, true) })
+	}
+}
+
+// QueueLens snapshots the queue length of every port, keyed by [from, to].
+// Useful for debugging and the DCTCP threshold experiments.
+func (f *Fabric) QueueLens() map[[2]int]int {
+	out := make(map[[2]int]int, len(f.ports))
+	for k, p := range f.ports {
+		out[k] = p.QueueLen()
+	}
+	return out
+}

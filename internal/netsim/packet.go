@@ -1,0 +1,77 @@
+// Package netsim is the packet-level network substrate: links with
+// bandwidth and propagation delay, switches with pluggable output queues
+// (DropTail, ECN threshold marking, strict priority), and a FatTree
+// forwarding fabric with per-flow ECMP. It plays the role of OMNeT++/INET
+// in the original MimicNet.
+package netsim
+
+import (
+	"fmt"
+
+	"mimicnet/internal/sim"
+)
+
+// Header sizes in bytes, loosely TCP/IPv4-shaped. Only the totals matter
+// to the simulation.
+const (
+	HeaderBytes = 40   // IP + transport header
+	MTU         = 1500 // maximum packet size on the wire
+	MSS         = MTU - HeaderBytes
+)
+
+// Packet is the unit of simulation. Packets are created by transports and
+// routed hop-by-hop along a precomputed up-down path.
+type Packet struct {
+	ID     uint64 // globally unique, for trace matching
+	FlowID uint64 // connection identity
+	Src    int    // source host (dense topo ID)
+	Dst    int    // destination host
+
+	Seq     int64 // first payload byte index (data) or next expected (ACK)
+	Payload int   // payload bytes
+	Size    int   // total wire size = Payload + HeaderBytes
+
+	IsAck    bool
+	AckSeq   int64 // cumulative ACK (valid when IsAck)
+	SackHint int64 // highest sequence seen out-of-order, 0 if none
+
+	ECT       bool  // ECN-capable transport
+	CE        bool  // congestion experienced (marked in network)
+	ECNEcho   bool  // receiver echoes CE back to sender (valid when IsAck)
+	Priority  int   // priority band (Homa); 0 = highest
+	GrantseqG int64 // Homa grant offset (valid for grant packets)
+	GrantPrio int   // priority band the sender should use for granted data
+	IsGrant   bool
+
+	Hash uint64 // ECMP hash, fixed per flow
+
+	SentAt sim.Time // transport-level send time (for RTT samples)
+	EchoTS sim.Time // timestamp echoed by the receiver (valid when IsAck)
+
+	FlowBytes int64 // total flow size, so receivers can track completion
+
+	// Path is the node sequence from source to destination host; Hop
+	// indexes the node the packet currently sits at.
+	Path []int
+	Hop  int
+}
+
+// String summarizes the packet for debugging.
+func (p *Packet) String() string {
+	kind := "data"
+	if p.IsAck {
+		kind = "ack"
+	}
+	if p.IsGrant {
+		kind = "grant"
+	}
+	return fmt.Sprintf("pkt(%d %s flow=%d %d->%d seq=%d len=%d)", p.ID, kind, p.FlowID, p.Src, p.Dst, p.Seq, p.Payload)
+}
+
+// NextNode returns the node after the current hop, or -1 at the path end.
+func (p *Packet) NextNode() int {
+	if p.Hop+1 >= len(p.Path) {
+		return -1
+	}
+	return p.Path[p.Hop+1]
+}

@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"mimicnet/internal/sim"
+)
+
+// Port models one direction of a physical link: a queue feeding a
+// transmitter of fixed rate, followed by a propagation delay. Ports are
+// the only place simulated time is spent in the network, matching the
+// store-and-forward behavior of the switches MimicNet learns.
+type Port struct {
+	From, To int // node IDs, for instrumentation
+
+	// Down marks the link failed: offered packets are dropped.
+	Down bool
+
+	sim   *sim.Simulator
+	rate  float64  // bits per second
+	prop  sim.Time // propagation delay
+	queue Queue
+	busy  bool
+
+	// deliver is invoked at the remote end once serialization and
+	// propagation complete.
+	deliver func(*Packet)
+
+	// hooks (may be nil)
+	onDrop func(*Packet)
+	onSent func(*Packet) // after serialization completes at this port
+
+	// counters
+	Delivered uint64
+	Dropped   uint64
+}
+
+// NewPort creates a port. rateBps is the line rate in bits/second.
+func NewPort(s *sim.Simulator, from, to int, rateBps float64, prop sim.Time, q Queue, deliver func(*Packet)) *Port {
+	return &Port{From: from, To: to, sim: s, rate: rateBps, prop: prop, queue: q, deliver: deliver}
+}
+
+// QueueLen returns the instantaneous queue length in packets.
+func (p *Port) QueueLen() int { return p.queue.Len() }
+
+// QueueBytes returns the instantaneous queue depth in bytes.
+func (p *Port) QueueBytes() int { return p.queue.Bytes() }
+
+// SetDropHook registers a callback invoked when the queue rejects a
+// packet.
+func (p *Port) SetDropHook(fn func(*Packet)) { p.onDrop = fn }
+
+// SetSentHook registers a callback invoked when a packet finishes
+// serializing out of this port.
+func (p *Port) SetSentHook(fn func(*Packet)) { p.onSent = fn }
+
+// SerializationDelay returns the time to clock a packet of the given wire
+// size onto the link.
+func (p *Port) SerializationDelay(bytes int) sim.Time {
+	return sim.Time(float64(bytes*8) / p.rate * float64(sim.Second))
+}
+
+// Send offers a packet to the port. If the transmitter is idle it begins
+// serializing immediately; otherwise the packet is queued (and possibly
+// dropped or ECN-marked by the queue discipline). Packets offered to a
+// failed link are dropped.
+func (p *Port) Send(pkt *Packet) {
+	if p.Down {
+		p.Dropped++
+		if p.onDrop != nil {
+			p.onDrop(pkt)
+		}
+		return
+	}
+	if !p.busy {
+		p.transmit(pkt)
+		return
+	}
+	if !p.queue.Enqueue(pkt) {
+		p.Dropped++
+		if p.onDrop != nil {
+			p.onDrop(pkt)
+		}
+	}
+}
+
+func (p *Port) transmit(pkt *Packet) {
+	p.busy = true
+	p.sim.After(p.SerializationDelay(pkt.Size), func() {
+		if p.onSent != nil {
+			p.onSent(pkt)
+		}
+		// Propagation: the packet arrives remotely prop later; the
+		// transmitter is free immediately.
+		p.sim.After(p.prop, func() {
+			p.Delivered++
+			p.deliver(pkt)
+		})
+		if next := p.queue.Dequeue(); next != nil {
+			p.transmit(next)
+		} else {
+			p.busy = false
+		}
+	})
+}

@@ -1,0 +1,156 @@
+package netsim
+
+// Queue is an output-port packet queue discipline. Implementations decide
+// admission (drop), marking (ECN), and dequeue order.
+type Queue interface {
+	// Enqueue offers a packet. It returns false if the packet is dropped.
+	// The queue may set pkt.CE as a side effect (ECN marking).
+	Enqueue(pkt *Packet) bool
+	// Dequeue removes and returns the next packet to transmit, or nil.
+	Dequeue() *Packet
+	// Len returns the number of queued packets.
+	Len() int
+	// Bytes returns the number of queued bytes.
+	Bytes() int
+}
+
+// DropTail is a FIFO queue with a packet-count capacity, the paper's base
+// configuration.
+type DropTail struct {
+	Capacity int // max queued packets
+	pkts     []*Packet
+	bytes    int
+}
+
+// NewDropTail returns a FIFO with the given packet capacity.
+func NewDropTail(capacity int) *DropTail {
+	return &DropTail{Capacity: capacity}
+}
+
+// Enqueue appends unless full.
+func (q *DropTail) Enqueue(pkt *Packet) bool {
+	if len(q.pkts) >= q.Capacity {
+		return false
+	}
+	q.pkts = append(q.pkts, pkt)
+	q.bytes += pkt.Size
+	return true
+}
+
+// Dequeue pops the head.
+func (q *DropTail) Dequeue() *Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	pkt := q.pkts[0]
+	q.pkts[0] = nil
+	q.pkts = q.pkts[1:]
+	q.bytes -= pkt.Size
+	return pkt
+}
+
+// Len returns queued packet count.
+func (q *DropTail) Len() int { return len(q.pkts) }
+
+// Bytes returns queued byte count.
+func (q *DropTail) Bytes() int { return q.bytes }
+
+// ECNQueue is DropTail plus DCTCP-style threshold marking: packets
+// enqueued while the instantaneous queue length is at least K packets get
+// CE set (if ECN-capable). K is the knob swept in the paper's Figure 13.
+type ECNQueue struct {
+	DropTail
+	K int // marking threshold in packets
+}
+
+// NewECNQueue returns an ECN threshold queue.
+func NewECNQueue(capacity, k int) *ECNQueue {
+	return &ECNQueue{DropTail: DropTail{Capacity: capacity}, K: k}
+}
+
+// Enqueue marks then delegates to DropTail admission.
+func (q *ECNQueue) Enqueue(pkt *Packet) bool {
+	if pkt.ECT && len(q.pkts) >= q.K {
+		pkt.CE = true
+	}
+	return q.DropTail.Enqueue(pkt)
+}
+
+// PriorityQueue implements strict-priority scheduling over N bands with a
+// shared capacity; band 0 is served first. Homa's receiver-driven
+// transport relies on this (paper §9.4.2: "a challenging extra feature for
+// MimicNet as packets can be reordered").
+type PriorityQueue struct {
+	Capacity int
+	bands    [][]*Packet
+	len      int
+	bytes    int
+}
+
+// NewPriorityQueue returns a strict-priority queue with the given number
+// of bands and total packet capacity.
+func NewPriorityQueue(bands, capacity int) *PriorityQueue {
+	if bands < 1 {
+		panic("netsim: need at least one priority band")
+	}
+	return &PriorityQueue{Capacity: capacity, bands: make([][]*Packet, bands)}
+}
+
+// Enqueue places the packet in its priority band unless the shared
+// capacity is exhausted. Out-of-range priorities are clamped.
+func (q *PriorityQueue) Enqueue(pkt *Packet) bool {
+	if q.len >= q.Capacity {
+		return false
+	}
+	b := pkt.Priority
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(q.bands) {
+		b = len(q.bands) - 1
+	}
+	q.bands[b] = append(q.bands[b], pkt)
+	q.len++
+	q.bytes += pkt.Size
+	return true
+}
+
+// Dequeue serves the lowest-numbered non-empty band.
+func (q *PriorityQueue) Dequeue() *Packet {
+	for b := range q.bands {
+		if len(q.bands[b]) == 0 {
+			continue
+		}
+		pkt := q.bands[b][0]
+		q.bands[b][0] = nil
+		q.bands[b] = q.bands[b][1:]
+		q.len--
+		q.bytes -= pkt.Size
+		return pkt
+	}
+	return nil
+}
+
+// Len returns queued packet count.
+func (q *PriorityQueue) Len() int { return q.len }
+
+// Bytes returns queued byte count.
+func (q *PriorityQueue) Bytes() int { return q.bytes }
+
+// QueueFactory builds a fresh queue for each output port.
+type QueueFactory func() Queue
+
+// DropTailFactory returns a factory for DropTail queues.
+func DropTailFactory(capacity int) QueueFactory {
+	return func() Queue { return NewDropTail(capacity) }
+}
+
+// ECNFactory returns a factory for ECN threshold queues.
+func ECNFactory(capacity, k int) QueueFactory {
+	return func() Queue { return NewECNQueue(capacity, k) }
+}
+
+// PriorityFactory returns a factory for strict-priority queues.
+func PriorityFactory(bands, capacity int) QueueFactory {
+	return func() Queue { return NewPriorityQueue(bands, capacity) }
+}

@@ -1,0 +1,185 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel plays the role OMNeT++ plays for the original MimicNet: every
+// component of the simulated network distills its behavior into events that
+// fire at a designated simulated time. Events scheduled for the same time
+// fire in scheduling order, which—together with seeded randomness—makes
+// whole-simulation runs bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated timestamp in nanoseconds. It is unrelated to wall
+// clock time: a Simulator may process hours of simulated Time in seconds,
+// or vice versa.
+type Time int64
+
+// Common durations, mirroring time.Duration but as sim.Time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// String formats the time as seconds with nanosecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.9fs", t.Seconds()) }
+
+// Event is a scheduled callback. Events are created by Simulator.At and
+// Simulator.After and may be canceled before they fire.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index; -1 once popped
+}
+
+// At returns the simulated time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Simulator owns the event queue and the simulated clock.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now       Time
+	queue     eventQueue
+	seq       uint64
+	processed uint64
+	stopped   bool
+}
+
+// New returns an empty simulator at time zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Processed returns the number of events executed so far. It is the
+// simulator's measure of work done, used by the scalability experiments.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events still queued (including canceled
+// events that have not yet been discarded).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past panics: it indicates a causality bug in the caller.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current simulated time.
+func (s *Simulator) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel prevents a pending event from firing. Canceling an event that
+// already fired (or was already canceled) is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	e.fn = nil // release references early
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Simulator) Run() {
+	s.RunUntil(Time(1<<63 - 1))
+}
+
+// RunUntil executes events with timestamps <= limit. The clock is left at
+// the last executed event's time (or limit if that is earlier than the next
+// pending event, so repeated RunUntil calls advance monotonically).
+func (s *Simulator) RunUntil(limit Time) {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.at > limit {
+			break
+		}
+		heap.Pop(&s.queue)
+		if next.canceled {
+			continue
+		}
+		s.now = next.at
+		s.processed++
+		next.fn()
+	}
+	if s.now < limit && limit < Time(1<<62) {
+		s.now = limit
+	}
+}
+
+// Step executes exactly one non-canceled event if one is pending and
+// reports whether it did.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		next := heap.Pop(&s.queue).(*Event)
+		if next.canceled {
+			continue
+		}
+		s.now = next.at
+		s.processed++
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// eventQueue is a binary min-heap ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}

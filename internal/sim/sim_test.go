@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds() = %v, want 2.0", got)
+	}
+	if got := FromSeconds(0.5); got != 500*Millisecond {
+		t.Errorf("FromSeconds(0.5) = %v, want 500ms", got)
+	}
+	if s := (1500 * Millisecond).String(); s != "1.500000000s" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestRunExecutesInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", s.Now())
+	}
+	if s.Processed() != 3 {
+		t.Errorf("Processed() = %d, want 3", s.Processed())
+	}
+}
+
+func TestSameTimeEventsFireInScheduleOrder(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO tie-break)", i, v, i)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New()
+	var fired Time
+	s.At(100, func() {
+		s.After(50, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 150 {
+		t.Errorf("fired at %v, want 150", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(10, func() { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // double-cancel is a no-op
+	s.Cancel(nil)
+	s.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if s.Processed() != 0 {
+		t.Errorf("Processed() = %d, want 0", s.Processed())
+	}
+}
+
+func TestRunUntilStopsAtLimitAndAdvancesClock(t *testing.T) {
+	s := New()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10 and 20 only", fired)
+	}
+	if s.Now() != 25 {
+		t.Errorf("Now() = %v, want 25 (clock advanced to limit)", s.Now())
+	}
+	s.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("after second RunUntil fired %v, want all 4", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative delay")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	s.At(1, func() { count++; s.Stop() })
+	s.At(2, func() { count++ })
+	s.Run()
+	if count != 1 {
+		t.Errorf("count = %d, want 1 (Stop should halt the loop)", count)
+	}
+	// Run again resumes.
+	s.Run()
+	if count != 2 {
+		t.Errorf("count = %d, want 2 after resuming", count)
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New()
+	count := 0
+	s.At(1, func() { count++ })
+	s.At(2, func() { count++ })
+	if !s.Step() || count != 1 {
+		t.Fatalf("first Step: count = %d", count)
+	}
+	if !s.Step() || count != 2 {
+		t.Fatalf("second Step: count = %d", count)
+	}
+	if s.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestPendingCountsQueue(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", s.Pending())
+	}
+}
+
+// Property: events always fire in non-decreasing time order, regardless of
+// insertion order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		s := New()
+		var fired []Time
+		for _, at := range times {
+			at := Time(at)
+			s.At(at, func() { fired = append(fired, at) })
+		}
+		s.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaving At/Cancel never loses or duplicates events.
+func TestCancelProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		fired := 0
+		want := 0
+		for i := 0; i < int(n); i++ {
+			e := s.At(Time(rng.Intn(1000)), func() { fired++ })
+			if rng.Intn(2) == 0 {
+				s.Cancel(e)
+			} else {
+				want++
+			}
+		}
+		s.Run()
+		return fired == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		s := New()
+		rng := rand.New(rand.NewSource(42))
+		var fired []Time
+		var schedule func()
+		schedule = func() {
+			if s.Now() > 10000 {
+				return
+			}
+			fired = append(fired, s.Now())
+			s.After(Time(rng.Intn(100)+1), schedule)
+		}
+		s.At(0, schedule)
+		s.Run()
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestParallelDeliversCrossLPMessages(t *testing.T) {
+	p := NewParallel(2, 100)
+	got := make([]Time, 0)
+	// LP0 sends to LP1 every 100 ticks.
+	var tick func()
+	lp0, lp1 := p.LPs[0], p.LPs[1]
+	tick = func() {
+		at := lp0.Sim.Now() + 100
+		lp1.Send(at, func() { got = append(got, lp1.Sim.Now()) })
+		if at < 1000 {
+			lp0.Sim.At(at, tick)
+		}
+	}
+	lp0.Sim.At(0, tick)
+	p.Run(2000)
+	if len(got) == 0 {
+		t.Fatal("no cross-LP messages delivered")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("cross-LP messages out of order: %v", got)
+		}
+	}
+	if p.Barriers == 0 {
+		t.Error("expected at least one synchronization barrier")
+	}
+}
+
+func TestParallelBarrierCountScalesWithLookahead(t *testing.T) {
+	fine := NewParallel(2, 10)
+	fine.Run(1000)
+	coarse := NewParallel(2, 100)
+	coarse.Run(1000)
+	if fine.Barriers <= coarse.Barriers {
+		t.Errorf("fine lookahead barriers %d should exceed coarse %d",
+			fine.Barriers, coarse.Barriers)
+	}
+}
+
+func TestParallelZeroLookaheadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero lookahead")
+		}
+	}()
+	NewParallel(1, 0).Run(10)
+}
+
+func BenchmarkEventLoop(b *testing.B) {
+	s := New()
+	var next func()
+	next = func() { s.After(1, next) }
+	s.At(0, next)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

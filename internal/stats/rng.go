@@ -1,0 +1,178 @@
+// Package stats provides seeded random streams, the probability
+// distributions used by the workload and feeder models, and small online
+// statistics (EWMA, histograms, quantiles) shared across the simulator.
+//
+// Everything is deterministic under a fixed seed: MimicNet keeps seeds
+// consistent between variants and changes them across training, testing,
+// and cross-validation (paper §8), and this package is where all of the
+// framework's randomness originates.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Stream is a seeded source of randomness. Distinct simulation components
+// take distinct streams (derived via Derive) so that adding randomness to
+// one component does not perturb another.
+type Stream struct {
+	rng *rand.Rand
+}
+
+// NewStream returns a stream seeded with the given seed.
+func NewStream(seed int64) *Stream {
+	return &Stream{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Derive returns a child stream whose seed combines the parent seed space
+// with the given label, so component streams are stable as code evolves.
+func (s *Stream) Derive(label string) *Stream {
+	h := int64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= int64(label[i])
+		h *= 1099511628211
+	}
+	return NewStream(h ^ s.rng.Int63())
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Stream) Float64() float64 { return s.rng.Float64() }
+
+// Intn returns a uniform int in [0, n).
+func (s *Stream) Intn(n int) int { return s.rng.Intn(n) }
+
+// Int63 returns a non-negative uniform int64.
+func (s *Stream) Int63() int64 { return s.rng.Int63() }
+
+// NormFloat64 returns a standard normal variate.
+func (s *Stream) NormFloat64() float64 { return s.rng.NormFloat64() }
+
+// ExpFloat64 returns an exponential variate with mean 1.
+func (s *Stream) ExpFloat64() float64 { return s.rng.ExpFloat64() }
+
+// Perm returns a random permutation of [0, n).
+func (s *Stream) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+
+// Distribution is a samplable one-dimensional distribution.
+type Distribution interface {
+	// Sample draws one value using the supplied stream.
+	Sample(s *Stream) float64
+	// Mean returns the distribution's analytic (or empirical) mean.
+	Mean() float64
+}
+
+// Exponential is an exponential distribution with the given mean.
+type Exponential struct{ MeanVal float64 }
+
+// Sample draws an exponential variate.
+func (d Exponential) Sample(s *Stream) float64 { return s.ExpFloat64() * d.MeanVal }
+
+// Mean returns the configured mean.
+func (d Exponential) Mean() float64 { return d.MeanVal }
+
+// LogNormal is a log-normal distribution parameterized by the mu/sigma of
+// the underlying normal. The paper observed that simple log-normal
+// distributions produced reasonable approximations of packet interarrival
+// times (§6).
+type LogNormal struct{ Mu, Sigma float64 }
+
+// Sample draws a log-normal variate.
+func (d LogNormal) Sample(s *Stream) float64 {
+	return math.Exp(d.Mu + d.Sigma*s.NormFloat64())
+}
+
+// Mean returns exp(mu + sigma^2/2).
+func (d LogNormal) Mean() float64 { return math.Exp(d.Mu + d.Sigma*d.Sigma/2) }
+
+// FitLogNormal estimates a LogNormal from positive samples via the method
+// of moments on log-values. Non-positive samples are ignored; if fewer
+// than two usable samples exist, a degenerate near-constant distribution
+// around the sample mean (or fallback) is returned.
+func FitLogNormal(samples []float64, fallbackMean float64) LogNormal {
+	var n int
+	var sum, sumsq float64
+	for _, v := range samples {
+		if v <= 0 {
+			continue
+		}
+		lv := math.Log(v)
+		sum += lv
+		sumsq += lv * lv
+		n++
+	}
+	if n < 2 {
+		m := fallbackMean
+		if m <= 0 {
+			m = 1
+		}
+		return LogNormal{Mu: math.Log(m), Sigma: 1e-9}
+	}
+	mu := sum / float64(n)
+	variance := sumsq/float64(n) - mu*mu
+	if variance < 0 {
+		variance = 0
+	}
+	return LogNormal{Mu: mu, Sigma: math.Sqrt(variance)}
+}
+
+// Pareto is a bounded-at-minimum Pareto distribution: the classic
+// heavy-tailed model for flow sizes and self-similar traffic.
+type Pareto struct {
+	Xm    float64 // scale (minimum value), > 0
+	Alpha float64 // shape, > 0
+}
+
+// Sample draws a Pareto variate via inverse transform.
+func (d Pareto) Sample(s *Stream) float64 {
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	return d.Xm / math.Pow(u, 1/d.Alpha)
+}
+
+// Mean returns alpha*xm/(alpha-1) for alpha > 1, +Inf otherwise.
+func (d Pareto) Mean() float64 {
+	if d.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return d.Alpha * d.Xm / (d.Alpha - 1)
+}
+
+// Empirical samples uniformly from observed values; used to replay fitted
+// characteristic distributions when a parametric fit is not wanted.
+type Empirical struct{ Values []float64 }
+
+// Sample draws one of the stored values uniformly at random.
+func (d Empirical) Sample(s *Stream) float64 {
+	if len(d.Values) == 0 {
+		return 0
+	}
+	return d.Values[s.Intn(len(d.Values))]
+}
+
+// Mean returns the average of the stored values.
+func (d Empirical) Mean() float64 {
+	if len(d.Values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range d.Values {
+		sum += v
+	}
+	return sum / float64(len(d.Values))
+}
+
+// Constant always returns the same value (useful for tests and for
+// degenerate feeder configurations).
+type Constant struct{ Value float64 }
+
+// Sample returns the constant.
+func (d Constant) Sample(*Stream) float64 { return d.Value }
+
+// Mean returns the constant.
+func (d Constant) Mean() float64 { return d.Value }

@@ -1,0 +1,261 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	a, b := NewStream(7), NewStream(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+}
+
+func TestDeriveIsStableAndIndependent(t *testing.T) {
+	a := NewStream(1).Derive("tcp")
+	b := NewStream(1).Derive("tcp")
+	c := NewStream(1).Derive("workload")
+	av, bv, cv := a.Float64(), b.Float64(), c.Float64()
+	if av != bv {
+		t.Error("same label derivation differs")
+	}
+	if av == cv {
+		t.Error("different labels produced identical streams")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := Exponential{MeanVal: 3.5}
+	if d.Mean() != 3.5 {
+		t.Errorf("Mean() = %v", d.Mean())
+	}
+	s := NewStream(1)
+	var sum Summary
+	for i := 0; i < 20000; i++ {
+		v := d.Sample(s)
+		if v < 0 {
+			t.Fatal("negative exponential sample")
+		}
+		sum.Add(v)
+	}
+	if math.Abs(sum.Mean()-3.5) > 0.15 {
+		t.Errorf("sample mean = %v, want ~3.5", sum.Mean())
+	}
+}
+
+func TestLogNormalMeanAndFit(t *testing.T) {
+	d := LogNormal{Mu: 1.0, Sigma: 0.5}
+	want := math.Exp(1.0 + 0.125)
+	if math.Abs(d.Mean()-want) > 1e-12 {
+		t.Errorf("Mean() = %v, want %v", d.Mean(), want)
+	}
+	s := NewStream(2)
+	samples := make([]float64, 50000)
+	for i := range samples {
+		samples[i] = d.Sample(s)
+	}
+	fit := FitLogNormal(samples, 1)
+	if math.Abs(fit.Mu-1.0) > 0.02 || math.Abs(fit.Sigma-0.5) > 0.02 {
+		t.Errorf("fit = %+v, want mu=1.0 sigma=0.5", fit)
+	}
+}
+
+func TestFitLogNormalDegenerate(t *testing.T) {
+	fit := FitLogNormal(nil, 2.0)
+	if math.Abs(fit.Mean()-2.0) > 1e-6 {
+		t.Errorf("degenerate fit mean = %v, want 2.0", fit.Mean())
+	}
+	fit = FitLogNormal([]float64{-1, 0}, 0) // no usable samples, bad fallback
+	if fit.Mean() <= 0 {
+		t.Errorf("fallback mean should be positive, got %v", fit.Mean())
+	}
+}
+
+func TestParetoProperties(t *testing.T) {
+	d := Pareto{Xm: 2, Alpha: 3}
+	if got, want := d.Mean(), 3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean() = %v, want %v", got, want)
+	}
+	if !math.IsInf(Pareto{Xm: 1, Alpha: 1}.Mean(), 1) {
+		t.Error("alpha<=1 Pareto mean should be +Inf")
+	}
+	s := NewStream(3)
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(s); v < d.Xm {
+			t.Fatalf("Pareto sample %v below xm %v", v, d.Xm)
+		}
+	}
+}
+
+func TestEmpiricalAndConstant(t *testing.T) {
+	e := Empirical{Values: []float64{1, 2, 3}}
+	if e.Mean() != 2 {
+		t.Errorf("Empirical mean = %v", e.Mean())
+	}
+	s := NewStream(4)
+	for i := 0; i < 100; i++ {
+		v := e.Sample(s)
+		if v != 1 && v != 2 && v != 3 {
+			t.Fatalf("Empirical sample %v not in value set", v)
+		}
+	}
+	if (Empirical{}).Sample(s) != 0 || (Empirical{}).Mean() != 0 {
+		t.Error("empty Empirical should return 0")
+	}
+	c := Constant{Value: 9}
+	if c.Sample(s) != 9 || c.Mean() != 9 {
+		t.Error("Constant wrong")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Error("fresh EWMA should be uninitialized")
+	}
+	e.Update(10)
+	if e.Value() != 10 {
+		t.Errorf("first update = %v, want 10", e.Value())
+	}
+	e.Update(20)
+	if e.Value() != 15 {
+		t.Errorf("second update = %v, want 15", e.Value())
+	}
+	e.Reset()
+	if e.Initialized() || e.Value() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if s.Mean() != 2.5 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.MinV != 1 || s.MaxV != 4 {
+		t.Errorf("Min/Max = %v/%v", s.MinV, s.MaxV)
+	}
+	if math.Abs(s.Variance()-1.25) > 1e-12 {
+		t.Errorf("Variance = %v, want 1.25", s.Variance())
+	}
+	if math.Abs(s.Stddev()-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("Stddev = %v", s.Stddev())
+	}
+	var empty Summary
+	if empty.Mean() != 0 || empty.Variance() != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{4, 1, 3, 2}
+	if q := Quantile(vals, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(vals, 1); q != 4 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(vals, 0.5); q != 2.5 {
+		t.Errorf("median = %v, want 2.5", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	// Quantile must not mutate its input.
+	if vals[0] != 4 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean([2 4]) != 3")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-5) // clamps low
+	h.Add(50) // clamps high
+	if h.Total() != 12 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[9] != 2 {
+		t.Errorf("boundary bins = %d, %d; want 2, 2", h.Counts[0], h.Counts[9])
+	}
+	if f := h.Fraction(0); math.Abs(f-2.0/12) > 1e-12 {
+		t.Errorf("Fraction(0) = %v", f)
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid histogram")
+		}
+	}()
+	NewHistogram(1, 1, 10)
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		q1 = math.Abs(math.Mod(q1, 1))
+		q2 = math.Abs(math.Mod(q2, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		a, b := Quantile(vals, q1), Quantile(vals, q2)
+		lo, hi := Quantile(vals, 0), Quantile(vals, 1)
+		return a <= b && a >= lo && b <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EWMA output always lies between min and max of inputs seen.
+func TestEWMABoundedProperty(t *testing.T) {
+	f := func(vals []float64, alphaRaw uint8) bool {
+		alpha := (float64(alphaRaw%100) + 1) / 101
+		e := NewEWMA(alpha)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			got := e.Update(v)
+			if got < lo-1e-9 || got > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

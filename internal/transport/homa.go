@@ -1,0 +1,166 @@
+package transport
+
+import (
+	"mimicnet/internal/netsim"
+	"mimicnet/internal/sim"
+)
+
+// HomaBands is the number of switch priority bands the Homa-like
+// transport uses: band 0 carries grants and the shortest messages, higher
+// bands carry progressively longer messages (SRPT approximation).
+const HomaBands = 8
+
+// homaRetxTimeout is the progress timeout after which the sender
+// retransmits from the acknowledged prefix.
+const homaRetxTimeout = 30 * sim.Millisecond
+
+// HomaPriority maps remaining message bytes to a priority band, smaller
+// messages first. bdp anchors the scale.
+func HomaPriority(remaining int64, bdp int) int {
+	if bdp <= 0 {
+		bdp = netsim.MSS
+	}
+	unit := int64(bdp) / 2
+	if unit <= 0 {
+		unit = 1
+	}
+	prio := 1
+	for size := unit; remaining > size && prio < HomaBands-1; size *= 4 {
+		prio++
+	}
+	return prio
+}
+
+// HomaSender is a receiver-driven message sender: it blasts one BDP of
+// unscheduled data immediately and sends the rest only as the receiver
+// grants it. Data packets carry priorities so switches can run SRPT-like
+// scheduling; this deliberately reorders packets across messages, the
+// property that stresses MimicNet's models (paper §9.4.2).
+type HomaSender struct {
+	env  *Env
+	flow *Flow
+
+	sent    int64 // bytes transmitted at least once
+	acked   int64 // contiguous prefix acknowledged
+	granted int64 // limit authorized by the receiver
+	prio    int   // current priority for scheduled data
+
+	retxEvent *sim.Event
+	lastAcked int64
+	done      bool
+}
+
+// NewHomaSender builds a Homa-like sender.
+func NewHomaSender(env *Env, flow *Flow) *HomaSender {
+	return &HomaSender{env: env, flow: flow}
+}
+
+// Start transmits the unscheduled window.
+func (h *HomaSender) Start() {
+	unsched := int64(h.env.BDPBytes)
+	if unsched > h.flow.Bytes {
+		unsched = h.flow.Bytes
+	}
+	h.granted = unsched
+	h.prio = HomaPriority(h.flow.Bytes, h.env.BDPBytes)
+	h.sendUpTo(h.granted)
+	h.armRetx()
+}
+
+// Done reports whether the full message was acknowledged.
+func (h *HomaSender) Done() bool { return h.done }
+
+func (h *HomaSender) sendUpTo(limit int64) {
+	for h.sent < limit {
+		payload := h.env.MSS
+		if remaining := limit - h.sent; remaining < int64(payload) {
+			payload = int(remaining)
+		}
+		h.sendSegment(h.sent, payload)
+		h.sent += int64(payload)
+	}
+}
+
+func (h *HomaSender) sendSegment(seq int64, payload int) {
+	h.env.Inject(&netsim.Packet{
+		ID:        h.env.NewPacketID(),
+		FlowID:    h.flow.ID,
+		Src:       h.flow.Src,
+		Dst:       h.flow.Dst,
+		Seq:       seq,
+		Payload:   payload,
+		Size:      payload + netsim.HeaderBytes,
+		Priority:  h.prio,
+		Hash:      h.flow.Hash,
+		SentAt:    h.env.Sim.Now(),
+		FlowBytes: h.flow.Bytes,
+	})
+}
+
+// HandleAck processes acknowledgements and grants from the receiver.
+func (h *HomaSender) HandleAck(pkt *netsim.Packet) {
+	if h.done {
+		return
+	}
+	if pkt.AckSeq > h.acked {
+		h.acked = pkt.AckSeq
+		if h.env.OnRTT != nil && pkt.EchoTS > 0 {
+			if rtt := h.env.Sim.Now() - pkt.EchoTS; rtt > 0 {
+				h.env.OnRTT(h.flow, rtt.Seconds())
+			}
+		}
+	}
+	if h.acked >= h.flow.Bytes {
+		h.complete()
+		return
+	}
+	if pkt.IsGrant && pkt.GrantseqG > h.granted {
+		h.granted = pkt.GrantseqG
+		h.prio = pkt.GrantPrio
+		if h.prio < 1 {
+			h.prio = 1
+		}
+		h.sendUpTo(h.granted)
+	}
+	h.armRetx()
+}
+
+func (h *HomaSender) armRetx() {
+	if h.retxEvent != nil {
+		h.env.Sim.Cancel(h.retxEvent)
+		h.retxEvent = nil
+	}
+	if h.done {
+		return
+	}
+	h.lastAcked = h.acked
+	h.retxEvent = h.env.Sim.After(homaRetxTimeout, h.onRetxTimeout)
+}
+
+func (h *HomaSender) onRetxTimeout() {
+	h.retxEvent = nil
+	if h.done {
+		return
+	}
+	if h.acked == h.lastAcked {
+		// No progress: retransmit the window from the acked prefix.
+		h.sent = h.acked
+		limit := h.granted
+		if max := h.acked + int64(h.env.BDPBytes); limit > max {
+			limit = max
+		}
+		h.sendUpTo(limit)
+	}
+	h.armRetx()
+}
+
+func (h *HomaSender) complete() {
+	h.done = true
+	if h.retxEvent != nil {
+		h.env.Sim.Cancel(h.retxEvent)
+		h.retxEvent = nil
+	}
+	if h.env.OnComplete != nil {
+		h.env.OnComplete(h.flow)
+	}
+}
