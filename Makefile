@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: build test test-race vet bench bench-all fuzz clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with concurrency: the event
+# scheduler, the batched inference engine and its worker pool, and the
+# cluster composition layer that drives them.
+test-race:
+	$(GO) test -race ./internal/sim ./internal/core ./internal/cluster ./internal/ml
+
+vet:
+	$(GO) vet ./...
+
+# Batched vs per-packet inference cost (the ns/step metric must show the
+# batched engine at least 2x cheaper per step for B >= 16).
+bench:
+	$(GO) test -run xxx -bench BenchmarkMimicInference -benchtime 0.5s -count 2 .
+
+# Full paper reproduction: every table/figure benchmark (slow).
+bench-all:
+	$(GO) test -bench . -benchmem .
+
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzMulLanes -fuzztime 30s ./internal/ml
+
+clean:
+	$(GO) clean -testcache
+	rm -f mimicnet.test

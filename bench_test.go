@@ -12,12 +12,15 @@
 package mimicnet
 
 import (
+	"fmt"
 	"os"
 	"sync"
 	"testing"
 
 	"mimicnet/internal/experiments"
+	"mimicnet/internal/ml"
 	"mimicnet/internal/sim"
+	"mimicnet/internal/stats"
 )
 
 // benchOptions returns the shared scaled-down configuration.
@@ -215,6 +218,81 @@ func BenchmarkFig23_ComputeConsumption(b *testing.B) {
 	emit(b, func() (*experiments.Table, error) {
 		return r.Fig23([]int{4, 8, 16})
 	})
+}
+
+// BenchmarkMimicInference measures the batched Mimic inference engine
+// against the per-packet path at several batch widths B (one lane per
+// Mimic×direction stream, as in a composition of B+1 clusters). The
+// reported ns/step metric is the per-model-step cost; the batched engine
+// should be at least 2x cheaper per step for B >= 16.
+func BenchmarkMimicInference(b *testing.B) {
+	cfg := ml.DefaultModelConfig(23, 8) // feature width of the default topology
+	model, err := ml.NewModel(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewStream(1)
+	// Inputs shaped like real extracted features: one-hot blocks for
+	// rack(2)/server(4)/agg(2)/core(4), 7 scalars, one-hot congestion(4).
+	featureVec := func() []float64 {
+		row := make([]float64, 0, cfg.Features)
+		for _, block := range []int{2, 4, 2, 4} {
+			hot := rng.Intn(block)
+			for j := 0; j < block; j++ {
+				if j == hot {
+					row = append(row, 1)
+				} else {
+					row = append(row, 0)
+				}
+			}
+		}
+		for j := 0; j < 7; j++ {
+			row = append(row, rng.Float64())
+		}
+		hot := rng.Intn(4)
+		for j := 0; j < 4; j++ {
+			if j == hot {
+				row = append(row, 1)
+			} else {
+				row = append(row, 0)
+			}
+		}
+		return row
+	}
+	for _, B := range []int{1, 8, 16, 64} {
+		xs := make([][]float64, B)
+		for i := range xs {
+			xs[i] = featureVec()
+		}
+
+		b.Run(fmt.Sprintf("per-packet/B=%d", B), func(b *testing.B) {
+			sms := make([]*ml.StatefulModel, B)
+			for i := range sms {
+				sms[i] = ml.NewStatefulModel(model)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for lane := 0; lane < B; lane++ {
+					_ = sms[lane].Predict(xs[lane])
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*B), "ns/step")
+		})
+
+		b.Run(fmt.Sprintf("batched/B=%d", B), func(b *testing.B) {
+			bat := ml.NewBatchedStatefulModel(model, B, nil)
+			lanes := make([]int, B)
+			for i := range lanes {
+				lanes[i] = i
+			}
+			preds := make([]ml.Prediction, B)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bat.StepLanes(lanes, xs, nil, preds)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*B), "ns/step")
+		})
+	}
 }
 
 // Ablations beyond the paper (see DESIGN.md "Key design decisions").

@@ -32,6 +32,7 @@ type Composed struct {
 	hosts  []*transport.Host
 	flows  []workload.Flow
 	models *MimicModels
+	sched  *InferenceScheduler // nil under Cfg.SequentialInference
 
 	// Counters for the speed/compute experiments.
 	FlowsStarted, FlowsCompleted int
@@ -97,6 +98,16 @@ func Compose(cfg cluster.Config, models *MimicModels) (*Composed, error) {
 	for i := 1; i < cfg.Topo.Clusters; i++ {
 		c.Mimics[i] = NewMimic(models, i, cfg.Workload.Seed)
 	}
+	if !cfg.SequentialInference {
+		w := cfg.BatchWindow
+		if w == 0 {
+			w = DefaultBatchWindow(models)
+		}
+		c.sched = NewInferenceScheduler(s, models, w)
+		for i := 1; i < cfg.Topo.Clusters; i++ {
+			c.Mimics[i].AttachScheduler(c.sched)
+		}
+	}
 
 	c.Env = &transport.Env{
 		Sim:      s,
@@ -157,32 +168,41 @@ func (c *Composed) inject(pkt *netsim.Packet) {
 	}
 	mimic := c.Mimics[srcCluster]
 	info := BuildPacketInfo(c.Topo, srcCluster, pkt, pkt.Src, c.Sim.Now())
-	out := mimic.ProcessEgress(info)
-	if out.Dropped {
-		c.MimicDropsEgress++
-		return
-	}
-	if out.ECNMark {
-		pkt.CE = true
-	}
-	// Find the core hop: the packet materializes there after the
-	// predicted in-cluster latency; core and observable-cluster hops are
-	// then simulated at full fidelity.
-	coreHop := -1
-	for i, node := range pkt.Path {
-		if c.Topo.KindOf(node) == topo.KindCore {
-			coreHop = i
-			break
+	mimic.ProcessEgressAsync(info, func(out Outcome) {
+		if out.Dropped {
+			c.MimicDropsEgress++
+			return
 		}
-	}
-	if coreHop < 0 {
-		// Both endpoints inside the same Mimic should never reach here
-		// (such flows are filtered); treat as model-internal and drop.
-		c.MimicDropsEgress++
-		return
-	}
-	c.Sim.After(out.Latency, func() {
-		c.Fabric.InjectAt(pkt, coreHop)
+		if out.ECNMark {
+			pkt.CE = true
+		}
+		// Find the core hop: the packet materializes there after the
+		// predicted in-cluster latency; core and observable-cluster hops
+		// are then simulated at full fidelity.
+		coreHop := -1
+		for i, node := range pkt.Path {
+			if c.Topo.KindOf(node) == topo.KindCore {
+				coreHop = i
+				break
+			}
+		}
+		if coreHop < 0 {
+			// Both endpoints inside the same Mimic should never reach
+			// here (such flows are filtered); treat as model-internal
+			// and drop.
+			c.MimicDropsEgress++
+			return
+		}
+		// The latency is relative to arrival; under batched inference
+		// the callback runs at flush time, so schedule at the absolute
+		// instant (clamped in case a custom window outran causality).
+		at := info.ArrivalTime + out.Latency
+		if now := c.Sim.Now(); at < now {
+			at = now
+		}
+		c.Sim.At(at, func() {
+			c.Fabric.InjectAt(pkt, coreHop)
+		})
 	})
 }
 
@@ -202,17 +222,22 @@ func (c *Composed) interceptIngress(node int, pkt *netsim.Packet) bool {
 	}
 	mimic := c.Mimics[clusterIdx]
 	info := BuildPacketInfo(t, clusterIdx, pkt, pkt.Dst, c.Sim.Now())
-	out := mimic.ProcessIngress(info)
-	if out.Dropped {
-		c.MimicDropsIngress++
-		return true
-	}
-	if out.ECNMark {
-		pkt.CE = true
-	}
-	dst := pkt.Dst
-	c.Sim.After(out.Latency, func() {
-		c.hosts[dst].Receive(pkt)
+	mimic.ProcessIngressAsync(info, func(out Outcome) {
+		if out.Dropped {
+			c.MimicDropsIngress++
+			return
+		}
+		if out.ECNMark {
+			pkt.CE = true
+		}
+		dst := pkt.Dst
+		at := info.ArrivalTime + out.Latency
+		if now := c.Sim.Now(); at < now {
+			at = now
+		}
+		c.Sim.At(at, func() {
+			c.hosts[dst].Receive(pkt)
+		})
 	})
 	return true
 }
@@ -267,8 +292,19 @@ func (c *Composed) startFeeders() {
 // Flows returns the real (observable-touching) flow schedule.
 func (c *Composed) Flows() []workload.Flow { return c.flows }
 
-// Run advances the composed simulation.
-func (c *Composed) Run(until sim.Time) { c.Sim.RunUntil(until) }
+// Scheduler exposes the batched inference scheduler (nil when running
+// with SequentialInference).
+func (c *Composed) Scheduler() *InferenceScheduler { return c.sched }
+
+// Run advances the composed simulation. Under batched inference, any
+// requests still collecting when the horizon hits are flushed so that
+// model state, RNG streams, and drop accounting match the inline path.
+func (c *Composed) Run(until sim.Time) {
+	c.Sim.RunUntil(until)
+	if c.sched != nil {
+		c.sched.Flush()
+	}
+}
 
 // Results snapshots the collected metrics in the same shape as a
 // full-fidelity run, so they can be compared directly.

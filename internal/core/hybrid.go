@@ -41,6 +41,7 @@ type Hybrid struct {
 
 	cfg   cluster.Config
 	mimic *Mimic
+	sched *InferenceScheduler // nil under cfg.SequentialInference
 	hosts []*transport.Host
 	env   *transport.Env
 	flows []workload.Flow
@@ -85,6 +86,14 @@ func NewHybrid(cfg cluster.Config, models *MimicModels, dir Direction) (*Hybrid,
 		cfg:       cfg,
 		mimic:     NewMimic(models, hybridModeled, cfg.Workload.Seed),
 		flows:     flows,
+	}
+	if !cfg.SequentialInference {
+		w := cfg.BatchWindow
+		if w == 0 {
+			w = DefaultBatchWindow(models)
+		}
+		h.sched = NewInferenceScheduler(s, models, w)
+		h.mimic.AttachScheduler(h.sched)
 	}
 	h.env = &transport.Env{
 		Sim:      s,
@@ -149,16 +158,22 @@ func (h *Hybrid) interceptIngress(node int, pkt *netsim.Packet) bool {
 		return false
 	}
 	h.ModelPackets++
-	out := h.mimic.ProcessIngress(BuildPacketInfo(t, hybridModeled, pkt, pkt.Dst, h.Sim.Now()))
-	if out.Dropped {
-		h.ModelDrops++
-		return true
-	}
-	if out.ECNMark {
-		pkt.CE = true
-	}
-	dst := pkt.Dst
-	h.Sim.After(out.Latency, func() { h.hosts[dst].Receive(pkt) })
+	info := BuildPacketInfo(t, hybridModeled, pkt, pkt.Dst, h.Sim.Now())
+	h.mimic.ProcessIngressAsync(info, func(out Outcome) {
+		if out.Dropped {
+			h.ModelDrops++
+			return
+		}
+		if out.ECNMark {
+			pkt.CE = true
+		}
+		dst := pkt.Dst
+		at := info.ArrivalTime + out.Latency
+		if now := h.Sim.Now(); at < now {
+			at = now
+		}
+		h.Sim.At(at, func() { h.hosts[dst].Receive(pkt) })
+	})
 	return true
 }
 
@@ -176,25 +191,31 @@ func (h *Hybrid) inject(pkt *netsim.Packet) {
 		return
 	}
 	h.ModelPackets++
-	out := h.mimic.ProcessEgress(BuildPacketInfo(t, hybridModeled, pkt, pkt.Src, h.Sim.Now()))
-	if out.Dropped {
-		h.ModelDrops++
-		return
-	}
-	if out.ECNMark {
-		pkt.CE = true
-	}
-	coreHop := -1
-	for i, n := range pkt.Path {
-		if t.KindOf(n) == topo.KindCore {
-			coreHop = i
-			break
+	info := BuildPacketInfo(t, hybridModeled, pkt, pkt.Src, h.Sim.Now())
+	h.mimic.ProcessEgressAsync(info, func(out Outcome) {
+		if out.Dropped {
+			h.ModelDrops++
+			return
 		}
-	}
-	if coreHop < 0 {
-		return
-	}
-	h.Sim.After(out.Latency, func() { h.Fabric.InjectAt(pkt, coreHop) })
+		if out.ECNMark {
+			pkt.CE = true
+		}
+		coreHop := -1
+		for i, n := range pkt.Path {
+			if t.KindOf(n) == topo.KindCore {
+				coreHop = i
+				break
+			}
+		}
+		if coreHop < 0 {
+			return
+		}
+		at := info.ArrivalTime + out.Latency
+		if now := h.Sim.Now(); at < now {
+			at = now
+		}
+		h.Sim.At(at, func() { h.Fabric.InjectAt(pkt, coreHop) })
+	})
 }
 
 func (h *Hybrid) startFlow(f workload.Flow) {
@@ -209,8 +230,14 @@ func (h *Hybrid) startFlow(f workload.Flow) {
 	sender.Start()
 }
 
-// Run advances the hybrid simulation.
-func (h *Hybrid) Run(until sim.Time) { h.Sim.RunUntil(until) }
+// Run advances the hybrid simulation, flushing any batched inference
+// requests still pending at the horizon.
+func (h *Hybrid) Run(until sim.Time) {
+	h.Sim.RunUntil(until)
+	if h.sched != nil {
+		h.sched.Flush()
+	}
+}
 
 // Results snapshots metrics in the standard shape.
 func (h *Hybrid) Results() cluster.Results {

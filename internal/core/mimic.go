@@ -70,10 +70,20 @@ type Outcome struct {
 // Mimic is the runtime shim replacing one non-observable cluster: two
 // stateful internal models (ingress/egress) fed by both real boundary
 // packets and feeder-generated synthetic traffic.
+//
+// A Mimic has two inference modes. Standalone (sched == nil), every
+// boundary packet runs one model step inline via the per-packet
+// StatefulModel. Attached to an InferenceScheduler, steps are deferred
+// and fused with the other Mimics' steps into batched matrix–matrix
+// calls — bit-identical results, delivered through the Async methods'
+// callbacks at flush time.
 type Mimic struct {
 	Cluster int
 
 	ing, eg *dirRuntime
+
+	sched *InferenceScheduler
+	lane  int
 }
 
 type dirRuntime struct {
@@ -102,8 +112,15 @@ func NewMimic(models *MimicModels, clusterIdx int, seed int64) *Mimic {
 }
 
 func (d *dirRuntime) process(info PacketInfo) Outcome {
-	feat := d.ex.Features(info)
-	pred := d.sm.Predict(feat)
+	return d.applyPrediction(info, d.sm.Predict(d.ex.Features(info)))
+}
+
+// applyPrediction turns one raw model prediction into an Outcome: the
+// drop draw, latency recovery and clamping, the ECN draw, and the
+// congestion-estimator feedback. It is the post-inference half of the
+// inline path, shared verbatim by the batched scheduler so both modes
+// consume the direction's RNG stream identically.
+func (d *dirRuntime) applyPrediction(info PacketInfo, pred ml.Prediction) Outcome {
 	out := Outcome{}
 	if d.rng.Float64() < pred.PDrop {
 		out.Dropped = true
@@ -136,6 +153,13 @@ func (d *dirRuntime) feed(now sim.Time) {
 	d.sm.Advance(d.ex.Features(info))
 }
 
+// AttachScheduler routes this Mimic's model steps through a batched
+// inference scheduler, registering one lane per direction model.
+func (m *Mimic) AttachScheduler(s *InferenceScheduler) {
+	m.sched = s
+	m.lane = s.addMimic()
+}
+
 // ProcessIngress predicts the cluster's effect on a packet entering from
 // a core switch toward an in-cluster host.
 func (m *Mimic) ProcessIngress(info PacketInfo) Outcome { return m.ing.process(info) }
@@ -144,16 +168,51 @@ func (m *Mimic) ProcessIngress(info PacketInfo) Outcome { return m.ing.process(i
 // in-cluster host toward the core.
 func (m *Mimic) ProcessEgress(info PacketInfo) Outcome { return m.eg.process(info) }
 
+// ProcessIngressAsync delivers the ingress prediction through fn: inline
+// immediately when standalone, or at the next scheduler flush when
+// batched. Callers must not touch the packet until fn runs.
+func (m *Mimic) ProcessIngressAsync(info PacketInfo, fn func(Outcome)) {
+	if m.sched == nil {
+		fn(m.ing.process(info))
+		return
+	}
+	m.sched.enqueue(m.lane, Ingress, m.ing, info, false, fn)
+}
+
+// ProcessEgressAsync is ProcessIngressAsync for the egress direction.
+func (m *Mimic) ProcessEgressAsync(info PacketInfo, fn func(Outcome)) {
+	if m.sched == nil {
+		fn(m.eg.process(info))
+		return
+	}
+	m.sched.enqueue(m.lane, Egress, m.eg, info, false, fn)
+}
+
 // FeedIngress/FeedEgress advance the models for Mimic-Mimic traffic.
-func (m *Mimic) FeedIngress(now sim.Time) { m.ing.feed(now) }
+func (m *Mimic) FeedIngress(now sim.Time) { m.feedDir(Ingress, m.ing, now) }
 
 // FeedEgress advances the egress model for Mimic-Mimic traffic.
-func (m *Mimic) FeedEgress(now sim.Time) { m.eg.feed(now) }
+func (m *Mimic) FeedEgress(now sim.Time) { m.feedDir(Egress, m.eg, now) }
 
-// InferenceSteps reports total LSTM steps executed (for Figure 23's
-// compute accounting).
+func (m *Mimic) feedDir(dir Direction, d *dirRuntime, now sim.Time) {
+	if m.sched == nil {
+		d.feed(now)
+		return
+	}
+	if len(d.dm.InfoBank) == 0 {
+		return // inline feed would be a no-op; skip the queue entirely
+	}
+	m.sched.enqueue(m.lane, dir, d, PacketInfo{}, true, nil)
+}
+
+// InferenceSteps reports total model steps executed (for Figure 23's
+// compute accounting), counting both inline and batched steps.
 func (m *Mimic) InferenceSteps() uint64 {
-	return m.ing.sm.Steps + m.eg.sm.Steps
+	total := m.ing.sm.Steps + m.eg.sm.Steps
+	if m.sched != nil {
+		total += m.sched.laneSteps(m.lane)
+	}
+	return total
 }
 
 // FeederGap samples the next feeder interarrival for a composition of n

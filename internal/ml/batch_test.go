@@ -1,0 +1,297 @@
+package ml
+
+import (
+	"testing"
+
+	"mimicnet/internal/stats"
+)
+
+// naiveMulLanes is the triple-loop reference for MulLanes, written with
+// the same k-order accumulation so agreement must be exact.
+func naiveMulLanes(m *Matrix, r0, r1 int, xs []float64, n int, outStride int) []float64 {
+	out := make([]float64, n*outStride)
+	for a := 0; a < n; a++ {
+		for r := r0; r < r1; r++ {
+			var sum float64
+			for k := 0; k < m.Cols; k++ {
+				sum += m.Data[r*m.Cols+k] * xs[a*m.Cols+k]
+			}
+			out[a*outStride+r] = sum
+		}
+	}
+	return out
+}
+
+func randMatrix(rows, cols int, s *stats.Stream) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 2*s.Float64() - 1
+	}
+	return m
+}
+
+func randVec(n int, s *stats.Stream) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 2*s.Float64() - 1
+	}
+	return v
+}
+
+// sparseVec is randVec with most entries exactly zero (one-hot-like),
+// exercising MulLanes' sparse path.
+func sparseVec(n int, s *stats.Stream) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		if s.Float64() < 0.3 {
+			v[i] = 2*s.Float64() - 1
+		}
+	}
+	return v
+}
+
+// checkMulLanes compares blocked-parallel MulLanes against the naive
+// reference on one shape, for both a serial and a 4-worker pool. When
+// sparse is set the inputs are mostly exact zeros, steering MulLanes
+// onto its packed sparse path — which must still match the dense naive
+// sum bitwise (skipped terms are exact zeros).
+func checkMulLanes(t *testing.T, rows, cols, n, r0, r1 int, pool *Pool, sparse bool, s *stats.Stream) {
+	t.Helper()
+	m := randMatrix(rows, cols, s)
+	var xs []float64
+	if sparse {
+		xs = sparseVec(n*cols, s)
+	} else {
+		xs = randVec(n*cols, s)
+	}
+	want := naiveMulLanes(m, r0, r1, xs, n, rows)
+	got := make([]float64, n*rows)
+	m.MulLanes(r0, r1, xs, n, got, rows, pool)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulLanes(%dx%d, n=%d, rows [%d,%d)) differs from naive at %d: %v vs %v",
+				rows, cols, n, r0, r1, i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulLanesMatchesNaive(t *testing.T) {
+	s := stats.NewStream(11)
+	pools := []*Pool{NewPool(1), NewPool(4)}
+	defer pools[1].Close()
+	// Degenerate and boundary shapes: B=0, B=1, single row/col, and
+	// sizes that are not multiples of the tile blocks.
+	fixed := [][3]int{
+		{1, 1, 0}, {1, 1, 1}, {5, 3, 1}, {1, 7, 3},
+		{gemmRowBlock, gemmLaneBlock, gemmLaneBlock},
+		{gemmRowBlock + 1, 5, gemmLaneBlock + 1},
+		{2*gemmRowBlock - 1, 9, 2*gemmLaneBlock - 1},
+		{96, 24, 33}, // LSTM-shaped: 4H × H at H=24
+	}
+	for _, p := range pools {
+		for _, sparse := range []bool{false, true} {
+			for _, f := range fixed {
+				rows, cols, n := f[0], f[1], f[2]
+				checkMulLanes(t, rows, cols, n, 0, rows, p, sparse, s)
+			}
+			// Random shapes including partial row ranges (as used by the
+			// GRU's z/r pre-activation GEMM).
+			for i := 0; i < 60; i++ {
+				rows := 1 + s.Intn(80)
+				cols := 1 + s.Intn(50)
+				n := s.Intn(70)
+				r1 := 1 + s.Intn(rows)
+				r0 := s.Intn(r1)
+				checkMulLanes(t, rows, cols, n, r0, r1, p, sparse, s)
+			}
+		}
+	}
+}
+
+func FuzzMulLanes(f *testing.F) {
+	f.Add(uint8(4), uint8(3), uint8(2), int64(1))
+	f.Add(uint8(33), uint8(17), uint8(19), int64(7))
+	f.Add(uint8(1), uint8(1), uint8(0), int64(0))
+	f.Fuzz(func(t *testing.T, rows, cols, n uint8, seed int64) {
+		if rows == 0 || cols == 0 {
+			t.Skip()
+		}
+		s := stats.NewStream(seed)
+		pool := NewPool(3)
+		defer pool.Close()
+		checkMulLanes(t, int(rows), int(cols), int(n), 0, int(rows), pool, seed%2 == 0, s)
+	})
+}
+
+// parityModel builds a small trained-ish model (random init is enough:
+// parity is about arithmetic, not accuracy).
+func parityModel(t *testing.T, cellType string, layers int) *Model {
+	t.Helper()
+	cfg := DefaultModelConfig(9, 4)
+	cfg.Hidden = 13 // deliberately not a multiple of any block size
+	cfg.Layers = layers
+	cfg.CellType = cellType
+	cfg.Seed = 42
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestBatchedParity drives B per-packet StatefulModels and one
+// B-lane BatchedStatefulModel through the same interleaved streams and
+// requires exact float equality of every Prediction, for LSTM and GRU
+// trunks at B ∈ {1, 7, 64}. Feeder-style Advance steps (discarded
+// outputs) are interleaved to cover the want-mask path.
+func TestBatchedParity(t *testing.T) {
+	cases := []struct {
+		name   string
+		cell   string
+		layers int
+	}{
+		{"lstm", "lstm", 1},
+		{"lstm-stacked", "lstm", 2},
+		{"gru", "gru", 1},
+		{"mlp-fallback", "mlp", 1},
+	}
+	pool := NewPool(4)
+	defer pool.Close()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			model := parityModel(t, tc.cell, tc.layers)
+			for _, B := range []int{1, 7, 64} {
+				seq := make([]*StatefulModel, B)
+				for i := range seq {
+					seq[i] = NewStatefulModel(model)
+				}
+				bat := NewBatchedStatefulModel(model, B, pool)
+				rng := stats.NewStream(int64(B))
+				for step := 0; step < 50; step++ {
+					var lanes []int
+					var xs [][]float64
+					var want []bool
+					for lane := 0; lane < B; lane++ {
+						if rng.Float64() < 0.4 { // lane idle this round
+							continue
+						}
+						lanes = append(lanes, lane)
+						xs = append(xs, randVec(model.Cfg.Features, rng))
+						want = append(want, rng.Float64() < 0.8)
+					}
+					preds := make([]Prediction, len(lanes))
+					bat.StepLanes(lanes, xs, want, preds)
+					for i, lane := range lanes {
+						if want[i] {
+							ref := seq[lane].Predict(xs[i])
+							if preds[i] != ref {
+								t.Fatalf("B=%d step=%d lane=%d: batched %+v != per-packet %+v",
+									B, step, lane, preds[i], ref)
+							}
+						} else {
+							seq[lane].Advance(xs[i])
+						}
+					}
+				}
+				var seqSteps uint64
+				for _, s := range seq {
+					seqSteps += s.Steps
+				}
+				if bat.Steps() != seqSteps {
+					t.Fatalf("B=%d: batched steps %d != per-packet %d", B, bat.Steps(), seqSteps)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedResetLane checks a reset lane re-converges with a fresh
+// per-packet stream while other lanes are unaffected.
+func TestBatchedResetLane(t *testing.T) {
+	model := parityModel(t, "lstm", 1)
+	bat := NewBatchedStatefulModel(model, 3, nil)
+	rng := stats.NewStream(5)
+	xs := [][]float64{randVec(model.Cfg.Features, rng), randVec(model.Cfg.Features, rng)}
+	for _, x := range xs {
+		bat.StepLanes([]int{0, 1, 2}, [][]float64{x, x, x}, nil, make([]Prediction, 3))
+	}
+	bat.ResetLane(1)
+	fresh := NewStatefulModel(model)
+	warm := NewStatefulModel(model)
+	for _, x := range xs {
+		warm.Predict(x)
+	}
+	x := randVec(model.Cfg.Features, rng)
+	preds := make([]Prediction, 3)
+	bat.StepLanes([]int{0, 1, 2}, [][]float64{x, x, x}, nil, preds)
+	if preds[1] != fresh.Predict(x) {
+		t.Error("reset lane does not match a fresh stream")
+	}
+	if ref := warm.Predict(x); preds[0] != ref || preds[2] != ref {
+		t.Error("reset disturbed other lanes")
+	}
+}
+
+// TestBatchedAddLane grows the bank mid-stream and checks the new lane
+// behaves like a fresh stream.
+func TestBatchedAddLane(t *testing.T) {
+	model := parityModel(t, "gru", 1)
+	bat := NewBatchedStatefulModel(model, 1, nil)
+	rng := stats.NewStream(9)
+	x0 := randVec(model.Cfg.Features, rng)
+	bat.StepLanes([]int{0}, [][]float64{x0}, nil, make([]Prediction, 1))
+	lane := bat.AddLane()
+	if lane != 1 || bat.Lanes() != 2 {
+		t.Fatalf("AddLane = %d, Lanes = %d", lane, bat.Lanes())
+	}
+	x1 := randVec(model.Cfg.Features, rng)
+	preds := make([]Prediction, 2)
+	bat.StepLanes([]int{0, 1}, [][]float64{x1, x1}, nil, preds)
+	fresh := NewStatefulModel(model)
+	if preds[1] != fresh.Predict(x1) {
+		t.Error("grown lane does not match a fresh stream")
+	}
+}
+
+// TestPoolCloseAfterDispatch closes pools immediately after dispatching
+// work — under -race this is a regression test for the shutdown
+// handshake (Close must not write state that draining workers still
+// read). Close must also be idempotent.
+func TestPoolCloseAfterDispatch(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		p := NewPool(4)
+		var out [64]int64
+		p.For(64, func(j int) { out[j] = int64(j) })
+		p.Close()
+		p.Close()
+		for j := range out {
+			if out[j] != int64(j) {
+				t.Fatalf("task %d did not run before Close returned", j)
+			}
+		}
+	}
+}
+
+// TestPoolWorkerCountInvariance: the same GEMM through pools of
+// different sizes must produce bitwise-identical output (under -race
+// this also exercises the worker pool for data races).
+func TestPoolWorkerCountInvariance(t *testing.T) {
+	s := stats.NewStream(3)
+	m := randMatrix(128, 40, s)
+	xs := randVec(64*40, s)
+	ref := make([]float64, 64*128)
+	m.MulLanes(0, 128, xs, 64, ref, 128, NewPool(1))
+	for _, workers := range []int{2, 3, 8} {
+		p := NewPool(workers)
+		out := make([]float64, 64*128)
+		for iter := 0; iter < 10; iter++ {
+			m.MulLanes(0, 128, xs, 64, out, 128, p)
+			for i := range ref {
+				if out[i] != ref[i] {
+					t.Fatalf("workers=%d iter=%d: output differs at %d", workers, iter, i)
+				}
+			}
+		}
+		p.Close()
+	}
+}

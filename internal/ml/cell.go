@@ -34,8 +34,32 @@ type Cell interface {
 	CellType() string
 }
 
+// BatchState is a cell's opaque recurrent state for a bank of
+// independent lanes (one lane per concurrent packet stream).
+type BatchState interface{}
+
+// BatchedCell is implemented by cells that can advance many independent
+// recurrent states through one fused matrix–matrix step. The fused step
+// must be bit-exact with calling StepState once per lane: batched
+// kernels keep the per-element accumulation order of the per-vector
+// path (see Dot/DotAcc), which the parity tests in batch_test.go
+// enforce.
+type BatchedCell interface {
+	Cell
+	// NewBatchState returns zeroed recurrent state for `lanes` lanes.
+	NewBatchState(lanes int) BatchState
+	// GrowBatchState appends one zeroed lane and returns its index.
+	GrowBatchState(st BatchState) int
+	// ResetBatchLane zeroes one lane's recurrent state.
+	ResetBatchLane(st BatchState, lane int)
+	// StepBatch advances the listed lanes by one input each. xs is
+	// len(lanes)×InSize row-major; the hidden outputs are written to hs
+	// (len(lanes)×HiddenSize row-major). Lanes must be distinct.
+	StepBatch(st BatchState, lanes []int, xs []float64, hs []float64, pool *Pool)
+}
+
 // LSTM adapters to the Cell interface (the concrete methods live in
-// layers.go).
+// layers.go; the fused batched step lives in batch.go).
 
 // InSize returns the input width.
 func (l *LSTM) InSize() int { return l.In }
@@ -72,4 +96,8 @@ func (l *LSTM) StepBackward(cache CellCache, dh, dcarry []float64) (dhPrev, dcar
 	return l.stepBackward(cache.(*lstmCache), dh, dcarry)
 }
 
-var _ Cell = (*LSTM)(nil)
+var (
+	_ Cell        = (*LSTM)(nil)
+	_ BatchedCell = (*LSTM)(nil)
+	_ BatchedCell = (*GRU)(nil)
+)

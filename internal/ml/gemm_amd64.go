@@ -1,0 +1,23 @@
+//go:build amd64
+
+package ml
+
+// haveGemm8 gates the SSE2 lane-batched GEMM microkernel. It vectorizes
+// over LANES, not over k: each of the 8 lanes keeps its own accumulator
+// that sums w[k]*x[k] in ascending-k order with separate multiply and
+// add instructions (MULPD then ADDPD, never FMA), so every output
+// element is bitwise identical to the scalar Dot kernel.
+const haveGemm8 = true
+
+// gemm8 computes, for 8 lanes and `rows` consecutive weight rows,
+//
+//	out[lane*outStrideB/8 + r] = Σ_k w[r*k8 + k] * xt[k*strideB/8 + lane]
+//
+// w points at the first weight row (rows × k, row-major, contiguous).
+// xt points at a k-major tile: element (k, lane) at byte offset
+// k*strideB + lane*8; the tile must hold 8 lanes (strideB >= 64).
+// out points at (lane 0, row 0); lanes advance by outStrideB bytes and
+// rows by 8 bytes. k must be >= 1 and rows >= 1.
+//
+//go:noescape
+func gemm8(w *float64, rows, k int, xt *float64, strideB int, out *float64, outStrideB int)

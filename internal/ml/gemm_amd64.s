@@ -1,0 +1,77 @@
+// SSE2 lane-batched GEMM microkernel. Vectorization is across lanes
+// (one accumulator component per lane), so each output element is the
+// same ascending-k multiply-then-add chain as the scalar Dot kernel —
+// bitwise identical results. SSE2 only (baseline amd64): no FMA (would
+// change rounding), no MOVDDUP (SSE3).
+
+#include "textflag.h"
+
+// func gemm8(w *float64, rows, k int, xt *float64, strideB int, out *float64, outStrideB int)
+TEXT ·gemm8(SB), NOSPLIT, $0-56
+	MOVQ	w+0(FP), SI
+	MOVQ	rows+8(FP), R8
+	MOVQ	k+16(FP), R9
+	MOVQ	xt+24(FP), DI
+	MOVQ	strideB+32(FP), R10
+	MOVQ	out+40(FP), R11
+	MOVQ	outStrideB+48(FP), R12
+
+rowloop:
+	// 8 lane accumulators in 4 xmm registers
+	XORPS	X0, X0
+	XORPS	X1, X1
+	XORPS	X2, X2
+	XORPS	X3, X3
+	MOVQ	DI, DX // xt cursor (k = 0)
+	MOVQ	R9, CX // k countdown
+
+kloop:
+	// broadcast w[k] to both halves of X4 (SSE2 MOVSD+UNPCKLPD)
+	MOVSD	(SI), X4
+	UNPCKLPD X4, X4
+	// one k-slice of the tile: lanes 0..7
+	MOVUPS	(DX), X5
+	MOVUPS	16(DX), X6
+	MOVUPS	32(DX), X7
+	MOVUPS	48(DX), X8
+	// multiply THEN add — two rounding steps, matching scalar s += w*x
+	MULPD	X4, X5
+	MULPD	X4, X6
+	MULPD	X4, X7
+	MULPD	X4, X8
+	ADDPD	X5, X0
+	ADDPD	X6, X1
+	ADDPD	X7, X2
+	ADDPD	X8, X3
+	ADDQ	$8, SI  // next weight element
+	ADDQ	R10, DX // next k-slice of the tile
+	DECQ	CX
+	JNZ	kloop
+
+	// scatter lane sums to out[lane*outStrideB + r*8]
+	// (BX as cursor: R14/R15 are reserved by the Go register ABI)
+	MOVQ	R11, BX
+	MOVSD	X0, (BX)
+	UNPCKHPD X0, X0
+	ADDQ	R12, BX
+	MOVSD	X0, (BX)
+	ADDQ	R12, BX
+	MOVSD	X1, (BX)
+	UNPCKHPD X1, X1
+	ADDQ	R12, BX
+	MOVSD	X1, (BX)
+	ADDQ	R12, BX
+	MOVSD	X2, (BX)
+	UNPCKHPD X2, X2
+	ADDQ	R12, BX
+	MOVSD	X2, (BX)
+	ADDQ	R12, BX
+	MOVSD	X3, (BX)
+	UNPCKHPD X3, X3
+	ADDQ	R12, BX
+	MOVSD	X3, (BX)
+
+	ADDQ	$8, R11 // next output row
+	DECQ	R8
+	JNZ	rowloop
+	RET

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package ml
+
+// haveGemm8 is false without the SSE2 microkernel; MulLanes uses the
+// portable 4-lane Go kernel, which produces identical results.
+const haveGemm8 = false
+
+// gemm8 is unreachable when haveGemm8 is false.
+func gemm8(w *float64, rows, k int, xt *float64, strideB int, out *float64, outStrideB int) {
+	panic("ml: gemm8 called without assembly support")
+}

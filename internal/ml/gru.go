@@ -67,12 +67,7 @@ func (g *GRU) StepState(st CellState, x []float64, train bool) ([]float64, CellC
 	// directly; the candidate uses r⊙h, so it is computed after r.
 	ah := Zeros(3 * H)
 	for row := 0; row < 2*H; row++ {
-		w := g.Wh.Data[row*H : (row+1)*H]
-		var sum float64
-		for c, v := range w {
-			sum += v * state.h[c]
-		}
-		ah[row] = sum
+		ah[row] = Dot(g.Wh.Data[row*H:(row+1)*H], state.h)
 	}
 	z, r := Zeros(H), Zeros(H)
 	for j := 0; j < H; j++ {
@@ -86,11 +81,7 @@ func (g *GRU) StepState(st CellState, x []float64, train bool) ([]float64, CellC
 	hHat := Zeros(H)
 	for j := 0; j < H; j++ {
 		row := g.Wh.Data[(2*H+j)*H : (2*H+j+1)*H]
-		sum := ax[2*H+j] + g.B.Data[2*H+j]
-		for c, v := range row {
-			sum += v * rh[c]
-		}
-		hHat[j] = math.Tanh(sum)
+		hHat[j] = math.Tanh(DotAcc(ax[2*H+j]+g.B.Data[2*H+j], row, rh))
 	}
 	hNew := Zeros(H)
 	for j := 0; j < H; j++ {
@@ -178,6 +169,80 @@ func (g *GRU) StepBackward(cache CellCache, dh, _ []float64) (dhPrev, dcarryPrev
 	dx = Zeros(g.In)
 	g.Wx.MulVecT(da, dx)
 	return dhPrev, nil, dx
+}
+
+// gruBatchState is the recurrent state of `lanes` independent GRU
+// streams (lanes × H dense), plus fused-step scratch.
+type gruBatchState struct {
+	h []float64
+	// scratch for one fused step
+	hg, ax, ah, rh, z []float64
+}
+
+// NewBatchState returns zeroed state for `lanes` GRU lanes.
+func (g *GRU) NewBatchState(lanes int) BatchState {
+	return &gruBatchState{h: make([]float64, lanes*g.Hidden)}
+}
+
+// GrowBatchState appends one zeroed lane.
+func (g *GRU) GrowBatchState(st BatchState) int {
+	s := st.(*gruBatchState)
+	lane := len(s.h) / g.Hidden
+	s.h = append(s.h, make([]float64, g.Hidden)...)
+	return lane
+}
+
+// ResetBatchLane zeroes one lane's hidden state.
+func (g *GRU) ResetBatchLane(st BatchState, lane int) {
+	s := st.(*gruBatchState)
+	zeroRange(s.h[lane*g.Hidden : (lane+1)*g.Hidden])
+}
+
+// StepBatch advances the listed lanes through one fused GRU step: two
+// GEMMs (input and z/r recurrent pre-activations) plus a per-lane pass
+// for the candidate path, which must follow the reset gate. All
+// per-element accumulation orders mirror StepState (Dot/DotAcc on the
+// same operand order), so outputs are bit-identical to the per-packet
+// path.
+func (g *GRU) StepBatch(st BatchState, lanes []int, xs []float64, hs []float64, pool *Pool) {
+	s := st.(*gruBatchState)
+	n := len(lanes)
+	if n == 0 {
+		return
+	}
+	H := g.Hidden
+	s.hg = growFloats(s.hg, n*H)
+	s.ax = growFloats(s.ax, n*3*H)
+	s.ah = growFloats(s.ah, n*2*H)
+	s.rh = growFloats(s.rh, n*H)
+	s.z = growFloats(s.z, n*H)
+	for a, lane := range lanes {
+		copy(s.hg[a*H:(a+1)*H], s.h[lane*H:(lane+1)*H])
+	}
+	g.Wx.MulLanes(0, 3*H, xs, n, s.ax, 3*H, pool)
+	g.Wh.MulLanes(0, 2*H, s.hg, n, s.ah, 2*H, pool)
+	bias := g.B.Data
+	pool.For(n, func(a int) {
+		ax := s.ax[a*3*H : (a+1)*3*H]
+		ah := s.ah[a*2*H : (a+1)*2*H]
+		hPrev := s.hg[a*H : (a+1)*H]
+		rh := s.rh[a*H : (a+1)*H]
+		z := s.z[a*H : (a+1)*H]
+		for j := 0; j < H; j++ {
+			z[j] = Sigmoid(ax[j] + ah[j] + bias[j])
+			r := Sigmoid(ax[H+j] + ah[H+j] + bias[H+j])
+			rh[j] = r * hPrev[j]
+		}
+		hRow := hs[a*H : (a+1)*H]
+		for j := 0; j < H; j++ {
+			row := g.Wh.Data[(2*H+j)*H : (2*H+j+1)*H]
+			hHat := math.Tanh(DotAcc(ax[2*H+j]+bias[2*H+j], row, rh))
+			hRow[j] = (1-z[j])*hPrev[j] + z[j]*hHat
+		}
+	})
+	for a, lane := range lanes {
+		copy(s.h[lane*H:(lane+1)*H], hs[a*H:(a+1)*H])
+	}
 }
 
 var _ Cell = (*GRU)(nil)

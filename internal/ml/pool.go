@@ -1,0 +1,105 @@
+package ml
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a persistent goroutine worker pool used by the batched
+// inference kernels. Workers are started once and reused across calls,
+// so the per-call cost is a channel send per task rather than a
+// goroutine spawn. All kernels dispatched through a Pool write disjoint
+// output regions and fix the arithmetic order per output element, so
+// results are bitwise deterministic regardless of scheduling.
+//
+// For must not be called from inside a task function (no nesting): with
+// every worker blocked on an inner For the pool would deadlock.
+type Pool struct {
+	workers   int
+	tasks     chan poolTask
+	closeOnce sync.Once
+}
+
+type poolTask struct {
+	fn  func(int)
+	idx int
+	wg  *sync.WaitGroup
+}
+
+// NewPool starts a pool with the given worker count (minimum 1). A pool
+// with one worker runs everything inline and spawns no goroutines.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.tasks = make(chan poolTask, 4*workers)
+		for i := 0; i < workers; i++ {
+			go p.worker()
+		}
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for t := range p.tasks {
+		t.fn(t.idx)
+		t.wg.Done()
+	}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// For runs fn(i) for every i in [0, n) and waits for all calls to
+// finish. The caller's goroutine executes task 0 (and everything, when
+// the pool has a single worker or n == 1), so a Pool never idles the
+// calling thread. fn calls must write disjoint data.
+func (p *Pool) For(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n - 1)
+	for i := 1; i < n; i++ {
+		p.tasks <- poolTask{fn: fn, idx: i, wg: &wg}
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// Close stops the pool's workers. Close is idempotent; dispatching
+// through the pool after Close panics. The tasks field is never
+// reassigned after construction, so Close cannot race with workers
+// still draining the channel.
+func (p *Pool) Close() {
+	if p.tasks != nil {
+		p.closeOnce.Do(func() { close(p.tasks) })
+	}
+}
+
+var (
+	sharedPoolOnce sync.Once
+	sharedPool     *Pool
+)
+
+// SharedPool returns the process-wide inference pool, sized to
+// GOMAXPROCS at first use. It is never closed.
+func SharedPool() *Pool {
+	sharedPoolOnce.Do(func() {
+		sharedPool = NewPool(runtime.GOMAXPROCS(0))
+	})
+	return sharedPool
+}

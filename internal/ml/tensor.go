@@ -63,14 +63,28 @@ func (m *Matrix) MulVec(x, out []float64) []float64 {
 		out = make([]float64, m.Rows)
 	}
 	for r := 0; r < m.Rows; r++ {
-		row := m.Data[r*m.Cols : (r+1)*m.Cols]
-		var sum float64
-		for c, v := range row {
-			sum += v * x[c]
-		}
-		out[r] = sum
+		out[r] = Dot(m.Data[r*m.Cols:(r+1)*m.Cols], x)
 	}
 	return out
+}
+
+// Dot returns Σ a[i]*b[i], accumulated strictly in index order. Every
+// matrix product in this package — per-vector (MulVec) and batched
+// (MulLanes) — reduces to this kernel, which is what makes batched and
+// per-packet inference agree bit-for-bit.
+func Dot(a, b []float64) float64 {
+	return DotAcc(0, a, b)
+}
+
+// DotAcc returns acc + Σ a[i]*b[i], accumulated in index order starting
+// from acc. It mirrors the hand-written `sum := init; sum += v*b[i]`
+// loops in the recurrent cells, so refactoring them onto this kernel
+// changes no results.
+func DotAcc(acc float64, a, b []float64) float64 {
+	for i, v := range a {
+		acc += v * b[i]
+	}
+	return acc
 }
 
 // AddOuterGrad accumulates the outer product dy ⊗ x into the gradient:
