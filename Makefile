@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-all fuzz clean
+.PHONY: build test test-race vet bench bench-all bench-json fuzz ci clean
 
 build:
 	$(GO) build ./...
@@ -8,19 +8,30 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the packages with concurrency: the event
-# scheduler, the batched inference engine and its worker pool, and the
-# cluster composition layer that drives them.
+# Race-detector pass over the packages with concurrency: the PDES
+# kernel and its worker pool, the sharded fabric, the batched inference
+# engine, and the cluster composition layer that drives them.
 test-race:
-	$(GO) test -race ./internal/sim ./internal/core ./internal/cluster ./internal/ml
+	$(GO) test -race ./internal/sim ./internal/netsim ./internal/core ./internal/cluster ./internal/ml
 
+# vet also cross-checks that the pure-Go build path compiles, so an
+# accelerator-tagged file can't silently become load-bearing.
 vet:
 	$(GO) vet ./...
+	GOFLAGS=-tags=purego $(GO) build ./...
+
+# Everything the driver gates on, in one target.
+ci: vet test-race
 
 # Batched vs per-packet inference cost (the ns/step metric must show the
 # batched engine at least 2x cheaper per step for B >= 16).
 bench:
 	$(GO) test -run xxx -bench BenchmarkMimicInference -benchtime 0.5s -count 2 .
+
+# Sequential vs sharded composed estimate at N=8; writes machine-readable
+# ns/simulated-second, events/sec, allocs/event to BENCH_compose.json.
+bench-json:
+	BENCH_COMPOSE_JSON=BENCH_compose.json $(GO) test -run xxx -bench BenchmarkComposedRun -benchtime 3x .
 
 # Full paper reproduction: every table/figure benchmark (slow).
 bench-all:
@@ -31,4 +42,4 @@ fuzz:
 
 clean:
 	$(GO) clean -testcache
-	rm -f mimicnet.test
+	rm -f mimicnet.test bench_output.txt BENCH_compose.json

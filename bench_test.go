@@ -12,15 +12,20 @@
 package mimicnet
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
+	"mimicnet/internal/cluster"
+	"mimicnet/internal/core"
 	"mimicnet/internal/experiments"
 	"mimicnet/internal/ml"
 	"mimicnet/internal/sim"
 	"mimicnet/internal/stats"
+	"mimicnet/internal/workload"
 )
 
 // benchOptions returns the shared scaled-down configuration.
@@ -292,6 +297,146 @@ func BenchmarkMimicInference(b *testing.B) {
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*B), "ns/step")
 		})
+	}
+}
+
+var (
+	composeBenchOnce sync.Once
+	composeBenchArt  *core.Artifacts
+	composeBenchErr  error
+)
+
+// composeBenchBase mirrors the fast 2-cluster config the core tests
+// train on: small enough that the fixed training cost stays in seconds.
+func composeBenchBase() cluster.Config {
+	cfg := cluster.DefaultConfig(2)
+	cfg.Workload = workload.DefaultConfig(20_000)
+	cfg.Workload.Duration = 150 * sim.Millisecond
+	cfg.Workload.Load = 0.7
+	return cfg
+}
+
+// composeBenchArtifacts trains one small artifact set shared across all
+// iterations of BenchmarkComposedRun.
+func composeBenchArtifacts(b *testing.B) *core.Artifacts {
+	b.Helper()
+	composeBenchOnce.Do(func() {
+		pcfg := core.DefaultPipelineConfig(composeBenchBase())
+		pcfg.SmallScaleDuration = 200 * sim.Millisecond
+		tc := core.DefaultTrainConfig()
+		tc.Dataset.Window = 6
+		tc.Model = ml.DefaultModelConfig(0, 6)
+		tc.Model.Hidden = 12
+		tc.Model.Epochs = 2
+		pcfg.Train = tc
+		composeBenchArt, composeBenchErr = core.RunPipeline(pcfg)
+	})
+	if composeBenchErr != nil {
+		b.Fatal(composeBenchErr)
+	}
+	return composeBenchArt
+}
+
+// composeModeStats is one row of BENCH_compose.json.
+type composeModeStats struct {
+	Mode           string  `json:"mode"`
+	Workers        int     `json:"workers"`
+	Runs           int     `json:"runs"`
+	EventsPerRun   uint64  `json:"events_per_run"`
+	NsPerSimSecond float64 `json:"ns_per_simulated_second"`
+	EventsPerSec   float64 `json:"events_per_second"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// BenchmarkComposedRun measures the production composed estimate at N=8
+// clusters: the sequential event loop versus the sharded
+// one-LP-per-cluster run (the tentpole of the sharding PR). Each
+// iteration composes and runs a fresh simulation, as a real estimate
+// would. Reported metrics: ns of wall-clock per simulated second,
+// processed events per wall-clock second, and heap allocations per
+// event (composition included — it is part of every estimate).
+//
+// When $BENCH_COMPOSE_JSON names a file (see `make bench-json`), the
+// same numbers are written there as JSON for machine comparison. The
+// speedup of sharded over sequential only materializes with
+// GOMAXPROCS > 1; on a single core the sharded run degrades to the
+// windowed serial schedule and should roughly tie.
+func BenchmarkComposedRun(b *testing.B) {
+	art := composeBenchArtifacts(b)
+	const clusters = 8
+	const horizon = 150 * sim.Millisecond
+
+	// The runner invokes each sub-benchmark more than once (a probe run,
+	// then the measured one); keep only the last stats per mode.
+	var order []string
+	report := map[string]composeModeStats{}
+	for _, m := range []struct {
+		name       string
+		shardedRun int
+		workers    int
+	}{
+		{"sequential", -1, 0},
+		{"sharded/w=8", 1, 8},
+	} {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			var events uint64
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := composeBenchBase()
+				cfg.Topo = cfg.Topo.WithClusters(clusters)
+				cfg.ShardedRun = m.shardedRun
+				cfg.NumWorkers = m.workers
+				comp, err := core.Compose(cfg, art.Models)
+				if err != nil {
+					b.Fatal(err)
+				}
+				comp.Run(horizon)
+				res := comp.Results()
+				if len(res.FCTByID) == 0 {
+					b.Fatal("benchmark run completed no flows")
+				}
+				events = res.Events
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			totalEvents := events * uint64(b.N)
+			simSeconds := horizon.Seconds()
+			st := composeModeStats{
+				Mode:           m.name,
+				Workers:        m.workers,
+				Runs:           b.N,
+				EventsPerRun:   events,
+				NsPerSimSecond: float64(b.Elapsed().Nanoseconds()) / float64(b.N) / simSeconds,
+				EventsPerSec:   float64(totalEvents) / b.Elapsed().Seconds(),
+				AllocsPerEvent: float64(ms1.Mallocs-ms0.Mallocs) / float64(totalEvents),
+			}
+			b.ReportMetric(st.NsPerSimSecond, "ns/simsec")
+			b.ReportMetric(st.EventsPerSec, "events/sec")
+			b.ReportMetric(st.AllocsPerEvent, "allocs/event")
+			if _, seen := report[m.name]; !seen {
+				order = append(order, m.name)
+			}
+			report[m.name] = st
+		})
+	}
+
+	if path := os.Getenv("BENCH_COMPOSE_JSON"); path != "" && len(report) > 0 {
+		rows := make([]composeModeStats, 0, len(order))
+		for _, name := range order {
+			rows = append(rows, report[name])
+		}
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", path)
 	}
 }
 

@@ -192,9 +192,9 @@ func main() {
 		fmt.Printf("total incl. training    %v\n", (wall + fixedCost).Round(time.Millisecond))
 	}
 	fmt.Printf("events processed        %d (%d LSTM steps, %d feeder events)\n",
-		res.Events, comp.InferenceSteps(), comp.FeederEvents)
-	fmt.Printf("flows                   %d started, %d completed\n", comp.FlowsStarted, comp.FlowsCompleted)
-	fmt.Printf("mimic drops             %d ingress, %d egress\n", comp.MimicDropsIngress, comp.MimicDropsEgress)
+		res.Events, comp.InferenceSteps(), comp.FeederEvents())
+	fmt.Printf("flows                   %d started, %d completed\n", comp.FlowsStarted(), comp.FlowsCompleted())
+	fmt.Printf("mimic drops             %d ingress, %d egress\n", comp.MimicDropsIngress(), comp.MimicDropsEgress())
 	printDist("fct_seconds", res.FCTs)
 	printDist("throughput_Bps", res.Throughputs)
 	printDist("rtt_seconds", res.RTTs)

@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 
 	"mimicnet/internal/metrics"
@@ -50,8 +51,44 @@ type Config struct {
 	// the same timestamp). Windows above the models' latency lower
 	// bound delay predictions past delivery deadlines; continuations
 	// are then clamped to the flush time, trading exactness for batch
-	// size. Ignored under SequentialInference.
+	// size. Ignored under SequentialInference. Sharded compositions
+	// additionally cap the window at the cross-LP causality bound
+	// (egress latency floor minus lookahead).
 	BatchWindow sim.Time
+
+	// ShardedRun selects whether composed/hybrid simulations partition
+	// into one logical process per cluster (core switches ride with the
+	// observable cluster) and run the windows in parallel: 0 = auto
+	// (sharded when GOMAXPROCS > 1), 1 = force sharded, -1 = force
+	// sequential. Sharded and sequential runs produce bitwise-identical
+	// Results; only wall-clock time differs. Full-fidelity simulations
+	// (cluster.New) are tightly coupled and always run sequentially —
+	// that contrast is MimicNet's Figure 2 motivation.
+	ShardedRun int
+
+	// NumWorkers bounds the worker goroutines executing shards (0 =
+	// GOMAXPROCS). Has no effect on results.
+	NumWorkers int
+}
+
+// Sharded resolves the ShardedRun knob against the host.
+func (c Config) Sharded() bool {
+	switch {
+	case c.ShardedRun > 0:
+		return true
+	case c.ShardedRun < 0:
+		return false
+	default:
+		return runtime.GOMAXPROCS(0) > 1
+	}
+}
+
+// ShardWorkers resolves the worker count for a sharded run.
+func (c Config) ShardWorkers() int {
+	if c.NumWorkers > 0 {
+		return c.NumWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultConfig returns the paper's base configuration at a given cluster
@@ -290,7 +327,7 @@ func (inst *Simulation) Results() Results {
 		RTTs:        inst.Collector.RTTs(),
 		FCTByID:     inst.Collector.FCTByID(),
 		Events:      inst.Sim.Processed(),
-		Packets:     inst.Fabric.Injected,
-		Drops:       inst.Fabric.Drops,
+		Packets:     inst.Fabric.Injected(),
+		Drops:       inst.Fabric.Drops(),
 	}
 }

@@ -522,13 +522,13 @@ func TestComposedFeedersRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	comp.Run(200 * sim.Millisecond)
-	if comp.FeederEvents == 0 {
+	if comp.FeederEvents() == 0 {
 		t.Error("no feeder events in a 4-cluster composition")
 	}
 	if comp.InferenceSteps() == 0 {
 		t.Error("no LSTM inference steps recorded")
 	}
-	if comp.FlowsCompleted == 0 {
+	if comp.FlowsCompleted() == 0 {
 		t.Error("no flows completed in composition")
 	}
 }

@@ -32,25 +32,22 @@ type HybridDirection = Direction
 
 // Hybrid is a 2-cluster simulation in which one direction of the modeled
 // cluster's external traffic is served by the trained internal model.
+//
+// Like Composed, a hybrid runs either sequentially or sharded into two
+// logical processes (cluster 0 plus the cores, and the modeled cluster),
+// with identical Results either way.
 type Hybrid struct {
-	Dir       Direction
-	Sim       *sim.Simulator
-	Topo      *topo.Topology
-	Fabric    *netsim.Fabric
-	Collector *metrics.Collector
+	Dir    Direction
+	Sim    *sim.Simulator // shard 0's simulator
+	Topo   *topo.Topology
+	Fabric *netsim.Fabric
 
-	cfg   cluster.Config
-	mimic *Mimic
-	sched *InferenceScheduler // nil under cfg.SequentialInference
-	hosts []*transport.Host
-	env   *transport.Env
-	flows []workload.Flow
-
-	// ModelPackets counts packets served by the model under test.
-	ModelPackets uint64
-	ModelDrops   uint64
-
-	FlowsStarted, FlowsCompleted int
+	cfg    cluster.Config
+	mimic  *Mimic
+	shards []*shardCtx
+	par    *sim.Parallel // nil when sequential
+	hosts  []*transport.Host
+	flows  []workload.Flow
 }
 
 const hybridModeled = 1 // cluster 1 is modeled, as in training
@@ -75,77 +72,120 @@ func NewHybrid(cfg cluster.Config, models *MimicModels, dir Direction) (*Hybrid,
 	if err != nil {
 		return nil, err
 	}
-	s := sim.New()
 	link := cfg.Link
 	link.SwitchQueue = cfg.QueueFactory()
-	fabric := netsim.NewFabric(s, t, link)
+
+	lookahead := composedLookahead(link, models)
+	sharded := cfg.Sharded() && lookahead > 0
 
 	h := &Hybrid{
-		Dir: dir, Sim: s, Topo: t, Fabric: fabric,
-		Collector: metrics.NewCollector(),
-		cfg:       cfg,
-		mimic:     NewMimic(models, hybridModeled, cfg.Workload.Seed),
-		flows:     flows,
+		Dir: dir, Topo: t,
+		cfg:   cfg,
+		mimic: NewMimic(models, hybridModeled, cfg.Workload.Seed),
+		flows: flows,
 	}
+	if sharded {
+		h.par = sim.NewParallel(2, lookahead)
+		h.par.NumWorkers = cfg.ShardWorkers()
+		h.shards = []*shardCtx{
+			{sim: h.par.LPs[0].Sim, coll: metrics.NewCollector()},
+			{sim: h.par.LPs[1].Sim, coll: metrics.NewCollector()},
+		}
+		shardOf := make([]int, t.Nodes())
+		for n := range shardOf {
+			if t.ClusterOf(n) == hybridModeled {
+				shardOf[n] = 1
+			}
+		}
+		h.Fabric = netsim.NewShardedFabric(h.par.LPs, shardOf, t, link)
+	} else {
+		h.shards = []*shardCtx{{sim: sim.New(), coll: metrics.NewCollector()}}
+		h.Fabric = netsim.NewFabric(h.shards[0].sim, t, link)
+	}
+	h.Sim = h.shards[0].sim
+
 	if !cfg.SequentialInference {
 		w := cfg.BatchWindow
 		if w == 0 {
 			w = DefaultBatchWindow(models)
 		}
-		h.sched = NewInferenceScheduler(s, models, w)
-		h.mimic.AttachScheduler(h.sched)
+		if sharded {
+			w = shardedWindow(w, lookahead, models)
+		}
+		// The mimic's inference runs where its cluster lives: shard 1
+		// when sharded, the single shard otherwise.
+		msh := h.shardFor(hybridModeled)
+		msh.sched = NewInferenceScheduler(msh.sim, models, w)
+		h.mimic.AttachScheduler(msh.sched)
 	}
-	h.env = &transport.Env{
-		Sim:      s,
-		MSS:      netsim.MSS,
-		BDPBytes: cfg.BDPBytes(),
-		Inject:   h.inject,
-		OnRTT: func(f *transport.Flow, sec float64) {
-			if t.ClusterOf(f.Src) == cfg.Observable {
-				h.Collector.RTTSample(sec)
-			}
-		},
-		OnComplete: func(f *transport.Flow) {
-			h.Collector.FlowCompleted(strconv.FormatUint(f.ID, 10), s.Now())
-			h.FlowsCompleted++
-		},
+
+	for _, sh := range h.shards {
+		sh := sh
+		sh.env = &transport.Env{
+			Sim:      sh.sim,
+			MSS:      netsim.MSS,
+			BDPBytes: cfg.BDPBytes(),
+			Inject:   h.inject,
+			OnRTT: func(f *transport.Flow, sec float64) {
+				if t.ClusterOf(f.Src) == cfg.Observable {
+					sh.coll.RTTSample(sec)
+				}
+			},
+			OnComplete: func(f *transport.Flow) {
+				sh.coll.FlowCompleted(strconv.FormatUint(f.ID, 10), sh.sim.Now())
+				sh.flowsCompleted++
+			},
+		}
 	}
 	h.hosts = make([]*transport.Host, t.Hosts())
 	for i := 0; i < t.Hosts(); i++ {
 		i := i
-		host := transport.NewHost(i, h.env, func(f *transport.Flow) *transport.Receiver {
-			r := transport.NewReceiver(h.env, f)
+		sh := h.shardFor(t.ClusterOf(i))
+		host := transport.NewHost(i, sh.env, func(f *transport.Flow) *transport.Receiver {
+			r := transport.NewReceiver(sh.env, f)
 			if transport.IsHoma(cfg.Protocol) {
-				bdp := h.env.BDPBytes
+				bdp := sh.env.BDPBytes
 				r.EnableGranting(func(remaining int64) int {
 					return transport.HomaPriority(remaining, bdp)
 				})
 			}
 			if t.ClusterOf(i) == cfg.Observable {
-				r.OnDeliver = func(n int64) { h.Collector.BytesReceived(i, n, s.Now()) }
+				r.OnDeliver = func(n int64) { sh.coll.BytesReceived(i, n, sh.sim.Now()) }
 			}
 			return r
 		})
 		h.hosts[i] = host
-		fabric.RegisterHost(i, host.Receive)
+		h.Fabric.RegisterHost(i, host.Receive)
 	}
 
 	if dir == Ingress {
 		// The ingress model handles packets descending into cluster 1;
 		// everything else rides the real network (Figure 15a).
-		fabric.SetIntercept(h.interceptIngress)
+		h.Fabric.SetIntercept(h.interceptIngress)
 	}
 
 	for _, f := range flows {
 		f := f
-		s.At(f.Start, func() { h.startFlow(f) })
+		h.shardFor(t.ClusterOf(f.Src)).sim.At(f.Start, func() { h.startFlow(f) })
 	}
 	return h, nil
 }
 
+// shardFor maps a cluster index to its logical process's context: the
+// modeled cluster on shard 1 when sharded, everything else (including
+// cores, ClusterOf == -1) on shard 0.
+func (h *Hybrid) shardFor(clusterIdx int) *shardCtx {
+	if h.par != nil && clusterIdx == hybridModeled {
+		return h.shards[1]
+	}
+	return h.shards[0]
+}
+
 // interceptIngress routes cluster-1-bound external packets through the
 // ingress model at the agg juncture. The real in-cluster copy is elided
-// (its congestion contribution is exactly what the model learned).
+// (its congestion contribution is exactly what the model learned). The
+// fabric calls it on the LP owning the agg switch — the modeled shard —
+// and the predicted delivery is local to that shard.
 func (h *Hybrid) interceptIngress(node int, pkt *netsim.Packet) bool {
 	t := h.Topo
 	if t.KindOf(node) != topo.KindAgg || t.ClusterOf(node) != hybridModeled {
@@ -157,11 +197,12 @@ func (h *Hybrid) interceptIngress(node int, pkt *netsim.Packet) bool {
 	if pkt.Hop < 1 || t.KindOf(pkt.Path[pkt.Hop-1]) != topo.KindCore {
 		return false
 	}
-	h.ModelPackets++
-	info := BuildPacketInfo(t, hybridModeled, pkt, pkt.Dst, h.Sim.Now())
+	sh := h.shardFor(hybridModeled)
+	sh.modelPackets++
+	info := BuildPacketInfo(t, hybridModeled, pkt, pkt.Dst, sh.sim.Now())
 	h.mimic.ProcessIngressAsync(info, func(out Outcome) {
 		if out.Dropped {
-			h.ModelDrops++
+			sh.modelDrops++
 			return
 		}
 		if out.ECNMark {
@@ -169,10 +210,10 @@ func (h *Hybrid) interceptIngress(node int, pkt *netsim.Packet) bool {
 		}
 		dst := pkt.Dst
 		at := info.ArrivalTime + out.Latency
-		if now := h.Sim.Now(); at < now {
+		if now := sh.sim.Now(); at < now {
 			at = now
 		}
-		h.Sim.At(at, func() { h.hosts[dst].Receive(pkt) })
+		sh.sim.At(at, func() { h.hosts[dst].Receive(pkt) })
 	})
 	return true
 }
@@ -180,7 +221,8 @@ func (h *Hybrid) interceptIngress(node int, pkt *netsim.Packet) bool {
 // inject routes transport packets. In Egress mode, packets leaving the
 // modeled cluster's hosts are served by the egress model at the same
 // juncture the model was trained on (host injection) and re-materialize
-// at the core; all other packets ride the real network (Figure 15b).
+// at the core; all other packets ride the real network (Figure 15b). It
+// executes on the LP owning pkt.Src's host.
 func (h *Hybrid) inject(pkt *netsim.Packet) {
 	t := h.Topo
 	pkt.Path = t.Path(pkt.Src, pkt.Dst, pkt.Hash)
@@ -190,11 +232,12 @@ func (h *Hybrid) inject(pkt *netsim.Packet) {
 		h.Fabric.Inject(pkt)
 		return
 	}
-	h.ModelPackets++
-	info := BuildPacketInfo(t, hybridModeled, pkt, pkt.Src, h.Sim.Now())
+	sh := h.shardFor(hybridModeled)
+	sh.modelPackets++
+	info := BuildPacketInfo(t, hybridModeled, pkt, pkt.Src, sh.sim.Now())
 	h.mimic.ProcessEgressAsync(info, func(out Outcome) {
 		if out.Dropped {
-			h.ModelDrops++
+			sh.modelDrops++
 			return
 		}
 		if out.ECNMark {
@@ -211,44 +254,98 @@ func (h *Hybrid) inject(pkt *netsim.Packet) {
 			return
 		}
 		at := info.ArrivalTime + out.Latency
-		if now := h.Sim.Now(); at < now {
+		if now := sh.sim.Now(); at < now {
 			at = now
 		}
-		h.Sim.At(at, func() { h.Fabric.InjectAt(pkt, coreHop) })
+		materialize := func() { h.Fabric.InjectAt(pkt, coreHop) }
+		if h.par != nil {
+			// The core switch lives on LP 0; the sharded batch window is
+			// capped so this send is at least one lookahead ahead.
+			h.par.LPs[1].SendTo(h.par.LPs[0], at, materialize)
+			return
+		}
+		sh.sim.At(at, materialize)
 	})
 }
 
 func (h *Hybrid) startFlow(f workload.Flow) {
+	sh := h.shardFor(h.Topo.ClusterOf(f.Src))
 	tf := &transport.Flow{
 		ID: f.ID, Src: f.Src, Dst: f.Dst, Bytes: f.Bytes,
 		Hash: topo.FlowHash(f.Src, f.Dst, f.ID),
 	}
-	sender := h.cfg.Protocol.NewSender(h.env, tf)
+	sender := h.cfg.Protocol.NewSender(sh.env, tf)
 	h.hosts[f.Src].AddSender(f.ID, sender)
-	h.Collector.FlowStarted(strconv.FormatUint(f.ID, 10), f.Src, f.Dst, f.Bytes, h.Sim.Now())
-	h.FlowsStarted++
+	sh.coll.FlowStarted(strconv.FormatUint(f.ID, 10), f.Src, f.Dst, f.Bytes, sh.sim.Now())
+	sh.flowsStarted++
 	sender.Start()
+}
+
+// Sharded reports whether this hybrid runs as parallel LPs.
+func (h *Hybrid) Sharded() bool { return h.par != nil }
+
+// Scheduler exposes the batched inference scheduler (nil under
+// SequentialInference).
+func (h *Hybrid) Scheduler() *InferenceScheduler {
+	return h.shardFor(hybridModeled).sched
+}
+
+// ModelPackets returns the number of packets served by the model under
+// test; ModelDrops the subset it predicted dropped.
+func (h *Hybrid) ModelPackets() uint64 { return h.shardFor(hybridModeled).modelPackets }
+
+// ModelDrops returns packets the model under test predicted dropped.
+func (h *Hybrid) ModelDrops() uint64 { return h.shardFor(hybridModeled).modelDrops }
+
+// FlowsStarted returns the number of flows started.
+func (h *Hybrid) FlowsStarted() int {
+	total := 0
+	for _, sh := range h.shards {
+		total += sh.flowsStarted
+	}
+	return total
+}
+
+// FlowsCompleted returns the number of flows completed.
+func (h *Hybrid) FlowsCompleted() int {
+	total := 0
+	for _, sh := range h.shards {
+		total += sh.flowsCompleted
+	}
+	return total
 }
 
 // Run advances the hybrid simulation, flushing any batched inference
 // requests still pending at the horizon.
 func (h *Hybrid) Run(until sim.Time) {
-	h.Sim.RunUntil(until)
-	if h.sched != nil {
-		h.sched.Flush()
+	if h.par != nil {
+		h.par.Run(until)
+	} else {
+		h.Sim.RunUntil(until)
+	}
+	if sched := h.Scheduler(); sched != nil {
+		sched.Flush()
 	}
 }
 
 // Results snapshots metrics in the standard shape.
 func (h *Hybrid) Results() cluster.Results {
+	coll := h.shards[0].coll
+	if len(h.shards) > 1 {
+		coll = metrics.Merged(h.shards[0].coll, h.shards[1].coll)
+	}
+	var events uint64
+	for _, sh := range h.shards {
+		events += sh.sim.Processed()
+	}
 	return cluster.Results{
-		FCTs:        h.Collector.FCTs(),
-		Throughputs: h.Collector.Throughputs(),
-		RTTs:        h.Collector.RTTs(),
-		FCTByID:     h.Collector.FCTByID(),
-		Events:      h.Sim.Processed(),
-		Packets:     h.Fabric.Injected,
-		Drops:       h.Fabric.Drops + h.ModelDrops,
+		FCTs:        coll.FCTs(),
+		Throughputs: coll.Throughputs(),
+		RTTs:        coll.RTTs(),
+		FCTByID:     coll.FCTByID(),
+		Events:      events,
+		Packets:     h.Fabric.Injected(),
+		Drops:       h.Fabric.Drops() + h.ModelDrops(),
 	}
 }
 

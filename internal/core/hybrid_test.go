@@ -26,15 +26,15 @@ func TestHybridIngressRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	h.Run(300 * sim.Millisecond)
-	if h.ModelPackets == 0 {
+	if h.ModelPackets() == 0 {
 		t.Fatal("ingress hybrid served no packets through the model")
 	}
 	res := h.Results()
 	if len(res.FCTs) == 0 {
 		t.Fatal("no flows completed in ingress hybrid")
 	}
-	if h.FlowsCompleted == 0 || h.FlowsCompleted > h.FlowsStarted {
-		t.Errorf("flow accounting: %d/%d", h.FlowsCompleted, h.FlowsStarted)
+	if h.FlowsCompleted() == 0 || h.FlowsCompleted() > h.FlowsStarted() {
+		t.Errorf("flow accounting: %d/%d", h.FlowsCompleted(), h.FlowsStarted())
 	}
 }
 
@@ -45,7 +45,7 @@ func TestHybridEgressRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	h.Run(300 * sim.Millisecond)
-	if h.ModelPackets == 0 {
+	if h.ModelPackets() == 0 {
 		t.Fatal("egress hybrid served no packets through the model")
 	}
 	if len(h.Results().FCTs) == 0 {
@@ -116,7 +116,7 @@ func TestUpdateModelsFineTunes(t *testing.T) {
 		t.Fatal(err)
 	}
 	comp.Run(150 * sim.Millisecond)
-	if comp.FlowsCompleted == 0 {
+	if comp.FlowsCompleted() == 0 {
 		t.Error("updated models completed no flows")
 	}
 }

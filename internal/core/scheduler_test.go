@@ -127,7 +127,7 @@ func TestGoldenDeterminismHybrid(t *testing.T) {
 				t.Fatal(err)
 			}
 			h.Run(until)
-			if h.ModelPackets == 0 {
+			if h.ModelPackets() == 0 {
 				t.Fatalf("%s hybrid served no packets", dir)
 			}
 			return h.Results()

@@ -109,7 +109,7 @@ func TestTrainFromFileComposes(t *testing.T) {
 		t.Fatal(err)
 	}
 	comp.Run(150 * sim.Millisecond)
-	if comp.FlowsCompleted == 0 {
+	if comp.FlowsCompleted() == 0 {
 		t.Error("file-trained models completed no flows")
 	}
 }

@@ -94,7 +94,7 @@ func (r *Runner) AblationFeeders(n int) (*Table, error) {
 		t.Rows = append(t.Rows, []string{
 			name,
 			f3(metrics.W1(res.FCTs, truth.FCTs)),
-			fmt.Sprint(comp.FeederEvents),
+			fmt.Sprint(comp.FeederEvents()),
 		})
 		return nil
 	}

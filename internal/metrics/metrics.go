@@ -266,6 +266,43 @@ func (c *Collector) RTTs() []float64 {
 	return out
 }
 
+// Merged combines per-shard collectors from a partitioned run into one.
+// The merge is lossless when each flow's records live entirely in one
+// collector (MimicNet shards by cluster, and a flow's start/completion
+// are both observed at its source host's logical process) — flow maps
+// then union disjointly, while RTT samples concatenate and throughput
+// bins add. All query methods sort their output, so a merged collector
+// reports identical distributions regardless of how samples were
+// scattered across shards. The bin width is taken from the first
+// collector; all inputs must agree.
+func Merged(cs ...*Collector) *Collector {
+	out := NewCollector()
+	if len(cs) > 0 {
+		out.ThroughputBin = cs[0].ThroughputBin
+	}
+	for _, c := range cs {
+		if c.ThroughputBin != out.ThroughputBin {
+			panic("metrics: Merged collectors disagree on ThroughputBin")
+		}
+		for id, f := range c.flows {
+			cp := *f
+			out.flows[id] = &cp
+		}
+		out.rtts = append(out.rtts, c.rtts...)
+		for host, bins := range c.bytesPerBin {
+			ob, ok := out.bytesPerBin[host]
+			if !ok {
+				ob = make(map[int64]int64, len(bins))
+				out.bytesPerBin[host] = ob
+			}
+			for bin, n := range bins {
+				ob[bin] += n
+			}
+		}
+	}
+	return out
+}
+
 // KS computes the Kolmogorov–Smirnov statistic between the empirical
 // distributions of a and b: the maximum absolute CDF difference. MimicNet
 // lets users supply their own accuracy metrics (§3, §7.2); KS is a

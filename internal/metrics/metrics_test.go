@@ -246,3 +246,87 @@ func TestKSBoundsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMergedEqualsUnified checks the shard-merge helper: scattering the
+// same samples across several collectors and merging must reproduce the
+// unified collector's outputs exactly.
+func TestMergedEqualsUnified(t *testing.T) {
+	type ev struct {
+		host  int
+		bytes int64
+		at    sim.Time
+	}
+	unified := NewCollector()
+	parts := []*Collector{NewCollector(), NewCollector(), NewCollector()}
+	flows := []struct {
+		id       string
+		src, dst int
+		bytes    int64
+		start    sim.Time
+		end      sim.Time
+	}{
+		{"a", 0, 4, 1000, 0, 10 * sim.Millisecond},
+		{"b", 1, 5, 2000, 2 * sim.Millisecond, 0}, // never completes
+		{"c", 2, 6, 3000, sim.Millisecond, 30 * sim.Millisecond},
+		{"d", 3, 7, 500, 5 * sim.Millisecond, 7 * sim.Millisecond},
+	}
+	for i, f := range flows {
+		for _, c := range []*Collector{unified, parts[i%len(parts)]} {
+			c.FlowStarted(f.id, f.src, f.dst, f.bytes, f.start)
+			if f.end != 0 {
+				c.FlowCompleted(f.id, f.end)
+			}
+		}
+	}
+	rtts := []float64{0.004, 0.001, 0.003, 0.002}
+	for i, r := range rtts {
+		unified.RTTSample(r)
+		parts[i%len(parts)].RTTSample(r)
+	}
+	evs := []ev{{4, 100, sim.Millisecond}, {4, 200, 150 * sim.Millisecond},
+		{5, 300, sim.Millisecond}, {4, 50, 2 * sim.Millisecond}}
+	for i, e := range evs {
+		unified.BytesReceived(e.host, e.bytes, e.at)
+		parts[i%len(parts)].BytesReceived(e.host, e.bytes, e.at)
+	}
+
+	m := Merged(parts...)
+	cmp := func(name string, a, b []float64) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d samples", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s[%d]: %v vs %v", name, i, a[i], b[i])
+			}
+		}
+	}
+	cmp("FCTs", unified.FCTs(), m.FCTs())
+	cmp("RTTs", unified.RTTs(), m.RTTs())
+	cmp("Throughputs", unified.Throughputs(), m.Throughputs())
+	uf, mf := unified.FCTByID(), m.FCTByID()
+	if len(uf) != len(mf) {
+		t.Fatalf("FCTByID: %d vs %d", len(uf), len(mf))
+	}
+	for id, v := range uf {
+		if mf[id] != v {
+			t.Errorf("FCTByID[%s]: %v vs %v", id, mf[id], v)
+		}
+	}
+	if len(m.Flows()) != len(unified.Flows()) {
+		t.Errorf("Flows: %d vs %d", len(m.Flows()), len(unified.Flows()))
+	}
+}
+
+// TestMergedBinWidthMismatchPanics pins the merge precondition.
+func TestMergedBinWidthMismatchPanics(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	b.ThroughputBin = a.ThroughputBin * 2
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on bin-width mismatch")
+		}
+	}()
+	Merged(a, b)
+}

@@ -33,7 +33,10 @@ func DefaultLinkConfig() LinkConfig {
 // Taps are instrumentation hooks. MimicNet's training data comes entirely
 // from taps placed at the modeled cluster's Core-facing and Host-facing
 // junctures (paper §5.1); arbitrary additional instrumentation of the
-// observable cluster uses the same mechanism.
+// observable cluster uses the same mechanism. Taps fire on the logical
+// process that owns the tapped node; in sharded fabrics a single tap
+// function would be called from multiple goroutines, so taps are only
+// supported on single-process fabrics (training runs are single-process).
 type Taps struct {
 	// OnSend fires when a packet is offered to the port from->to (before
 	// any queue/drop decision).
@@ -44,13 +47,31 @@ type Taps struct {
 	OnDrop func(from, to int, pkt *Packet, at sim.Time)
 }
 
+// fabricCounters is one shard's event accounting. Each logical process
+// writes only its own cell, so sharded runs count without atomics; the
+// struct is padded to a cache line to keep neighboring shards' writes
+// from false-sharing.
+type fabricCounters struct {
+	injected    uint64
+	delivered   uint64
+	drops       uint64
+	intercepted uint64
+	_           [4]uint64
+}
+
 // Fabric wires a FatTree topology into ports and forwards packets along
-// their precomputed up-down paths.
+// their precomputed up-down paths. A fabric is either single-process
+// (NewFabric) or sharded across logical processes (NewShardedFabric), in
+// which case each node's ports and arrivals execute on the LP that owns
+// the node and cluster-boundary links carry packets between LPs.
 type Fabric struct {
 	Topo *topo.Topology
-	Sim  *sim.Simulator
+	Sim  *sim.Simulator // shard 0's simulator (the only one when single-process)
 	Link LinkConfig
 	Taps Taps
+
+	lps     []*sim.LP // nil when single-process
+	shardOf []int     // node -> owning shard; nil when single-process
 
 	ports map[[2]int]*Port
 	hosts []func(*Packet)
@@ -60,33 +81,69 @@ type Fabric struct {
 	// arriving at the borders of the cluster", paper §7.1).
 	intercept func(node int, pkt *Packet) bool
 
-	// counters
-	Injected    uint64
-	Delivered   uint64
-	Drops       uint64
-	Intercepted uint64
+	counters []fabricCounters // one cell per shard
 }
 
-// NewFabric builds every directed port of the topology.
+// NewFabric builds every directed port of the topology on one simulator.
 func NewFabric(s *sim.Simulator, t *topo.Topology, link LinkConfig) *Fabric {
+	return build(s, nil, nil, t, link)
+}
+
+// NewShardedFabric builds the fabric across logical processes: node n's
+// ports, queues, and arrivals execute on lps[shardOf[n]], and ports whose
+// endpoints live on different LPs deliver their propagation leg as a
+// remote event. The link propagation delay is the natural PDES lookahead
+// for such a partitioning. shardOf must assign every node (len =
+// t.Nodes()) a shard in [0, len(lps)).
+func NewShardedFabric(lps []*sim.LP, shardOf []int, t *topo.Topology, link LinkConfig) *Fabric {
+	if len(shardOf) != t.Nodes() {
+		panic(fmt.Sprintf("netsim: shardOf covers %d nodes, topology has %d", len(shardOf), t.Nodes()))
+	}
+	return build(lps[0].Sim, lps, shardOf, t, link)
+}
+
+func build(s *sim.Simulator, lps []*sim.LP, shardOf []int, t *topo.Topology, link LinkConfig) *Fabric {
 	if link.SwitchQueue == nil {
 		panic("netsim: LinkConfig.SwitchQueue is required")
 	}
 	if link.HostQueue == nil {
 		link.HostQueue = link.SwitchQueue
 	}
+	nShards := 1
+	if lps != nil {
+		nShards = len(lps)
+	}
 	f := &Fabric{
-		Topo:  t,
-		Sim:   s,
-		Link:  link,
-		ports: make(map[[2]int]*Port),
-		hosts: make([]func(*Packet), t.Hosts()),
+		Topo:     t,
+		Sim:      s,
+		Link:     link,
+		lps:      lps,
+		shardOf:  shardOf,
+		ports:    make(map[[2]int]*Port),
+		hosts:    make([]func(*Packet), t.Hosts()),
+		counters: make([]fabricCounters, nShards),
 	}
 	for _, l := range t.Links() {
 		f.addPort(l.A, l.B)
 		f.addPort(l.B, l.A)
 	}
 	return f
+}
+
+// shard returns the shard index owning a node (always 0 single-process).
+func (f *Fabric) shard(node int) int {
+	if f.shardOf == nil {
+		return 0
+	}
+	return f.shardOf[node]
+}
+
+// simFor returns the simulator executing a node's events.
+func (f *Fabric) simFor(node int) *sim.Simulator {
+	if f.lps == nil {
+		return f.Sim
+	}
+	return f.lps[f.shardOf[node]].Sim
 }
 
 func (f *Fabric) addPort(from, to int) {
@@ -97,15 +154,21 @@ func (f *Fabric) addPort(from, to int) {
 		q = f.Link.SwitchQueue()
 	}
 	key := [2]int{from, to}
-	p := NewPort(f.Sim, from, to, f.Link.RateBps, f.Link.Delay, q, func(pkt *Packet) {
+	srcSim := f.simFor(from)
+	p := NewPort(srcSim, from, to, f.Link.RateBps, f.Link.Delay, q, func(pkt *Packet) {
 		f.arrive(to, pkt)
 	})
+	srcShard := f.shard(from)
 	p.SetDropHook(func(pkt *Packet) {
-		f.Drops++
+		f.counters[srcShard].drops++
 		if f.Taps.OnDrop != nil {
-			f.Taps.OnDrop(from, to, pkt, f.Sim.Now())
+			f.Taps.OnDrop(from, to, pkt, srcSim.Now())
 		}
 	})
+	if f.lps != nil && srcShard != f.shard(to) {
+		src, dst := f.lps[srcShard], f.lps[f.shard(to)]
+		p.SetRemote(func(at sim.Time, run func()) { src.SendTo(dst, at, run) })
+	}
 	f.ports[key] = p
 }
 
@@ -118,12 +181,14 @@ func (f *Fabric) RegisterHost(host int, recv func(*Packet)) {
 }
 
 // Inject sends a packet from its source host. The packet's Path must
-// start at the source host; the fabric takes over from there.
+// start at the source host; the fabric takes over from there. In sharded
+// fabrics the caller must be executing on the source host's LP (transport
+// stacks are built per-shard, so this holds by construction).
 func (f *Fabric) Inject(pkt *Packet) {
 	if len(pkt.Path) == 0 || pkt.Path[0] != pkt.Src {
 		panic(fmt.Sprintf("netsim: packet path must start at source: %v", pkt))
 	}
-	f.Injected++
+	f.counters[f.shard(pkt.Src)].injected++
 	pkt.Hop = 0
 	if len(pkt.Path) == 1 {
 		// Loopback: deliver immediately.
@@ -134,7 +199,7 @@ func (f *Fabric) Inject(pkt *Packet) {
 }
 
 func (f *Fabric) deliverLocal(pkt *Packet) {
-	f.Delivered++
+	f.counters[f.shard(pkt.Dst)].delivered++
 	if recv := f.hosts[pkt.Dst]; recv != nil {
 		recv(pkt)
 	}
@@ -148,7 +213,7 @@ func (f *Fabric) forward(pkt *Packet) {
 		panic(fmt.Sprintf("netsim: no port %d->%d for %v", from, to, pkt))
 	}
 	if f.Taps.OnSend != nil {
-		f.Taps.OnSend(from, to, pkt, f.Sim.Now())
+		f.Taps.OnSend(from, to, pkt, f.simFor(from).Now())
 	}
 	port.Send(pkt)
 }
@@ -160,12 +225,13 @@ func (f *Fabric) SetIntercept(fn func(node int, pkt *Packet) bool) {
 
 // InjectAt resumes a packet's journey from the given hop index of its
 // path, as if it had just arrived at pkt.Path[hop]. Mimic shims use this
-// to hand predicted egress packets to the real core switches.
+// to hand predicted egress packets to the real core switches. In sharded
+// fabrics the caller must be executing on the LP owning pkt.Path[hop].
 func (f *Fabric) InjectAt(pkt *Packet, hop int) {
 	if hop < 0 || hop >= len(pkt.Path) {
 		panic(fmt.Sprintf("netsim: InjectAt hop %d out of range for %v", hop, pkt))
 	}
-	f.Injected++
+	f.counters[f.shard(pkt.Path[hop])].injected++
 	pkt.Hop = hop
 	if hop == len(pkt.Path)-1 {
 		f.deliverLocal(pkt)
@@ -177,10 +243,10 @@ func (f *Fabric) InjectAt(pkt *Packet, hop int) {
 func (f *Fabric) arrive(node int, pkt *Packet) {
 	pkt.Hop++
 	if f.Taps.OnArrive != nil {
-		f.Taps.OnArrive(node, pkt, f.Sim.Now())
+		f.Taps.OnArrive(node, pkt, f.simFor(node).Now())
 	}
 	if f.intercept != nil && f.intercept(node, pkt) {
-		f.Intercepted++
+		f.counters[f.shard(node)].intercepted++
 		return
 	}
 	if pkt.Hop == len(pkt.Path)-1 {
@@ -191,6 +257,33 @@ func (f *Fabric) arrive(node int, pkt *Packet) {
 		return
 	}
 	f.forward(pkt)
+}
+
+// Injected returns the number of packets entered into the fabric.
+func (f *Fabric) Injected() uint64 { return f.sum(func(c *fabricCounters) uint64 { return c.injected }) }
+
+// Delivered returns the number of packets handed to destination hosts.
+func (f *Fabric) Delivered() uint64 {
+	return f.sum(func(c *fabricCounters) uint64 { return c.delivered })
+}
+
+// Drops returns the number of packets rejected by queues or failed links.
+func (f *Fabric) Drops() uint64 { return f.sum(func(c *fabricCounters) uint64 { return c.drops }) }
+
+// Intercepted returns the number of packets swallowed by the intercept
+// hook.
+func (f *Fabric) Intercepted() uint64 {
+	return f.sum(func(c *fabricCounters) uint64 { return c.intercepted })
+}
+
+// sum totals one counter across shards. Callers must not race with a
+// running sharded simulation; between windows and after Run is safe.
+func (f *Fabric) sum(get func(*fabricCounters) uint64) uint64 {
+	var total uint64
+	for i := range f.counters {
+		total += get(&f.counters[i])
+	}
+	return total
 }
 
 // SetLinkState marks the undirected link a<->b up or down. Packets
@@ -207,11 +300,27 @@ func (f *Fabric) SetLinkState(a, b int, up bool) {
 }
 
 // FailLinkAt schedules a link failure (and optional recovery) in
-// simulated time.
+// simulated time. On a sharded fabric each direction's flip is scheduled
+// on the LP owning the transmitting end, since that LP's events are the
+// only readers of the port's Down flag.
 func (f *Fabric) FailLinkAt(a, b int, at, recoverAt sim.Time) {
-	f.Sim.At(at, func() { f.SetLinkState(a, b, false) })
-	if recoverAt > at {
-		f.Sim.At(recoverAt, func() { f.SetLinkState(a, b, true) })
+	if f.lps == nil {
+		f.Sim.At(at, func() { f.SetLinkState(a, b, false) })
+		if recoverAt > at {
+			f.Sim.At(recoverAt, func() { f.SetLinkState(a, b, true) })
+		}
+		return
+	}
+	for _, key := range [][2]int{{a, b}, {b, a}} {
+		p, ok := f.ports[key]
+		if !ok {
+			continue
+		}
+		s := f.simFor(key[0])
+		s.At(at, func() { p.Down = true })
+		if recoverAt > at {
+			s.At(recoverAt, func() { p.Down = false })
+		}
 	}
 }
 

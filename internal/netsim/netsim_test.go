@@ -198,8 +198,8 @@ func TestFabricDeliversInterCluster(t *testing.T) {
 	if at != want {
 		t.Errorf("delivered at %v, want %v", at, want)
 	}
-	if f.Delivered != 1 || f.Injected != 1 {
-		t.Errorf("counters: injected=%d delivered=%d", f.Injected, f.Delivered)
+	if f.Delivered() != 1 || f.Injected() != 1 {
+		t.Errorf("counters: injected=%d delivered=%d", f.Injected(), f.Delivered())
 	}
 }
 
@@ -255,12 +255,12 @@ func TestFabricDropTap(t *testing.T) {
 		}
 	}
 	s.Run()
-	if drops == 0 || f.Drops == 0 {
+	if drops == 0 || f.Drops() == 0 {
 		t.Error("expected fan-in drops with tiny queue")
 	}
-	if f.Delivered+f.Drops != f.Injected {
+	if f.Delivered()+f.Drops() != f.Injected() {
 		t.Errorf("conservation violated: %d delivered + %d dropped != %d injected",
-			f.Delivered, f.Drops, f.Injected)
+			f.Delivered(), f.Drops(), f.Injected())
 	}
 }
 
@@ -332,7 +332,7 @@ func TestPacketConservationProperty(t *testing.T) {
 			})
 		}
 		s.Run()
-		return fab.Delivered+fab.Drops == fab.Injected
+		return fab.Delivered()+fab.Drops() == fab.Injected()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
@@ -454,8 +454,8 @@ func TestInterceptSwallowsAndCounts(t *testing.T) {
 	if delivered != 0 {
 		t.Error("intercepted packet was delivered")
 	}
-	if fab.Intercepted != 1 {
-		t.Errorf("Intercepted = %d", fab.Intercepted)
+	if fab.Intercepted() != 1 {
+		t.Errorf("Intercepted = %d", fab.Intercepted())
 	}
 	// Clearing the interceptor restores delivery.
 	fab.SetIntercept(nil)
@@ -489,8 +489,8 @@ func TestLinkFailureDropsAndRecovers(t *testing.T) {
 	if delivered != 2 {
 		t.Errorf("delivered = %d, want 2", delivered)
 	}
-	if drops != 1 || f.Drops != 1 {
-		t.Errorf("drops = %d/%d, want 1", drops, f.Drops)
+	if drops != 1 || f.Drops() != 1 {
+		t.Errorf("drops = %d/%d, want 1", drops, f.Drops())
 	}
 	// Unknown link: no-op.
 	f.SetLinkState(9999, 9998, false)

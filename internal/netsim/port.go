@@ -24,6 +24,13 @@ type Port struct {
 	// propagation complete.
 	deliver func(*Packet)
 
+	// remote, when set, schedules the propagation leg on another logical
+	// process instead of this port's own simulator. Sharded fabrics set
+	// it on cluster-boundary ports: the link's propagation delay is
+	// exactly the PDES lookahead, so the cross-LP send never violates
+	// causality.
+	remote func(at sim.Time, fn func())
+
 	// hooks (may be nil)
 	onDrop func(*Packet)
 	onSent func(*Packet) // after serialization completes at this port
@@ -51,6 +58,11 @@ func (p *Port) SetDropHook(fn func(*Packet)) { p.onDrop = fn }
 // SetSentHook registers a callback invoked when a packet finishes
 // serializing out of this port.
 func (p *Port) SetSentHook(fn func(*Packet)) { p.onSent = fn }
+
+// SetRemote routes the propagation leg through a cross-LP scheduler:
+// arrivals execute on the destination's logical process at the given
+// absolute time.
+func (p *Port) SetRemote(fn func(at sim.Time, run func())) { p.remote = fn }
 
 // SerializationDelay returns the time to clock a packet of the given wire
 // size onto the link.
@@ -90,10 +102,15 @@ func (p *Port) transmit(pkt *Packet) {
 		}
 		// Propagation: the packet arrives remotely prop later; the
 		// transmitter is free immediately.
-		p.sim.After(p.prop, func() {
+		arrive := func() {
 			p.Delivered++
 			p.deliver(pkt)
-		})
+		}
+		if p.remote != nil {
+			p.remote(p.sim.Now()+p.prop, arrive)
+		} else {
+			p.sim.After(p.prop, arrive)
+		}
 		if next := p.queue.Dequeue(); next != nil {
 			p.transmit(next)
 		} else {

@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"testing"
+
+	"mimicnet/internal/sim"
+	"mimicnet/internal/topo"
+)
+
+// TestShardedFabricMatchesSequential checks the netsim half of the
+// sharding tentpole in isolation: a fabric partitioned across two LPs at
+// the cluster boundary must deliver every packet at exactly the same
+// simulated time as the single-process fabric, with matching counters.
+func TestShardedFabricMatchesSequential(t *testing.T) {
+	tc := topo.Config{
+		Clusters: 2, RacksPerCluster: 2, HostsPerRack: 2,
+		AggPerCluster: 2, CoresPerAgg: 1,
+	}
+	tp := topo.New(tc)
+	link := DefaultLinkConfig()
+	const horizon = 200 * sim.Millisecond
+
+	type delivery struct {
+		id uint64
+		at sim.Time
+	}
+	run := func(sharded bool) (map[int][]delivery, *Fabric, *sim.Parallel) {
+		var f *Fabric
+		var par *sim.Parallel
+		simFor := func(node int) *sim.Simulator { return f.Sim }
+		if sharded {
+			par = sim.NewParallel(2, link.Delay)
+			par.NumWorkers = 4
+			shardOf := make([]int, tp.Nodes())
+			for n := range shardOf {
+				if tp.ClusterOf(n) == 1 {
+					shardOf[n] = 1
+				}
+			}
+			f = NewShardedFabric(par.LPs, shardOf, tp, link)
+			simFor = func(node int) *sim.Simulator {
+				return par.LPs[shardOf[node]].Sim
+			}
+		} else {
+			f = NewFabric(sim.New(), tp, link)
+		}
+		got := make(map[int][]delivery)
+		for h := 0; h < tp.Hosts(); h++ {
+			h := h
+			s := simFor(h)
+			f.RegisterHost(h, func(pkt *Packet) {
+				got[h] = append(got[h], delivery{pkt.ID, s.Now()})
+			})
+		}
+		// Bidirectional cross-cluster fan-out, several packets per pair so
+		// queues build and serialize: every packet crosses an LP boundary
+		// twice (agg->core, core->agg).
+		id := uint64(0)
+		for i := 0; i < tp.Hosts()/2; i++ {
+			src := i
+			dst := tp.Hosts()/2 + i
+			for k := 0; k < 5; k++ {
+				for _, pair := range [][2]int{{src, dst}, {dst, src}} {
+					id++
+					pkt := &Packet{
+						ID: id, Src: pair[0], Dst: pair[1], Size: MTU,
+						Hash: id, Path: tp.Path(pair[0], pair[1], id),
+					}
+					f.Inject(pkt)
+				}
+			}
+		}
+		if sharded {
+			par.Run(horizon)
+		} else {
+			f.Sim.RunUntil(horizon)
+		}
+		return got, f, par
+	}
+
+	seq, seqF, _ := run(false)
+	shr, shrF, par := run(true)
+
+	if seqF.Delivered() == 0 {
+		t.Fatal("sequential run delivered nothing")
+	}
+	if got, want := shrF.Delivered(), seqF.Delivered(); got != want {
+		t.Fatalf("delivered %d vs %d", got, want)
+	}
+	if got, want := shrF.Injected(), seqF.Injected(); got != want {
+		t.Errorf("injected %d vs %d", got, want)
+	}
+	if got, want := shrF.Drops(), seqF.Drops(); got != want {
+		t.Errorf("drops %d vs %d", got, want)
+	}
+	for h, want := range seq {
+		got := shr[h]
+		if len(got) != len(want) {
+			t.Fatalf("host %d: %d deliveries vs %d", h, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("host %d delivery %d: %+v vs %+v", h, i, got[i], want[i])
+			}
+		}
+	}
+	if par.Barriers == 0 {
+		t.Error("sharded run used no synchronization windows")
+	}
+	if par.CausalityClamps != 0 {
+		t.Errorf("%d causality clamps on link-delay lookahead", par.CausalityClamps)
+	}
+}
+
+// TestShardedFabricLinkFailure checks FailLinkAt on a sharded fabric:
+// a failed boundary link drops packets on the transmitting LP.
+func TestShardedFabricLinkFailure(t *testing.T) {
+	tc := topo.Config{
+		Clusters: 2, RacksPerCluster: 1, HostsPerRack: 1,
+		AggPerCluster: 1, CoresPerAgg: 1,
+	}
+	tp := topo.New(tc)
+	link := DefaultLinkConfig()
+	par := sim.NewParallel(2, link.Delay)
+	shardOf := make([]int, tp.Nodes())
+	for n := range shardOf {
+		if tp.ClusterOf(n) == 1 {
+			shardOf[n] = 1
+		}
+	}
+	f := NewShardedFabric(par.LPs, shardOf, tp, link)
+	src, dst := tp.HostID(0, 0, 0), tp.HostID(1, 0, 0)
+	delivered := 0
+	f.RegisterHost(dst, func(pkt *Packet) { delivered++ })
+	f.RegisterHost(src, func(pkt *Packet) {})
+	path := tp.Path(src, dst, 0)
+	// The agg->core hop leaves cluster 0; fail it from the start.
+	var agg, core int
+	for i, n := range path {
+		if tp.KindOf(n) == topo.KindCore {
+			agg, core = path[i-1], n
+			break
+		}
+	}
+	f.FailLinkAt(agg, core, 0, 50*sim.Millisecond)
+	inject := func(at sim.Time, id uint64) {
+		par.LPs[0].Sim.At(at, func() {
+			f.Inject(&Packet{ID: id, Src: src, Dst: dst, Size: 100, Path: path})
+		})
+	}
+	inject(sim.Millisecond, 1)          // while down: dropped
+	inject(60*sim.Millisecond, 2)       // after recovery: delivered
+	par.Run(100 * sim.Millisecond)
+	if delivered != 1 {
+		t.Errorf("delivered %d packets, want 1 (one dropped during failure)", delivered)
+	}
+	if f.Drops() != 1 {
+		t.Errorf("Drops = %d, want 1", f.Drops())
+	}
+}

@@ -1,16 +1,27 @@
 package sim
 
 import (
+	"fmt"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // This file implements conservative parallel discrete-event simulation
 // (PDES) in the style of Fujimoto's logical processes. The simulated
-// network is partitioned into LPs, each with its own event queue executed
-// by its own goroutine. Consistency demands that an LP cannot execute
-// events at time t until no other LP can still send it events before t, so
-// execution proceeds in lock-step windows of length equal to the global
-// lookahead (the minimum cross-LP link latency).
+// network is partitioned into LPs, each with its own event queue.
+// Consistency demands that an LP cannot execute events at time t until no
+// other LP can still send it events before t, so execution proceeds in
+// lock-step windows of length equal to the global lookahead (the minimum
+// cross-LP link latency).
+//
+// Determinism is part of the contract, not an accident: remote events are
+// delivered in (time, source LP, per-source sequence) order at fixed
+// window boundaries, so a sharded run schedules exactly the same events
+// in exactly the same relative order regardless of how many worker
+// threads execute the LPs. This is what lets core.Compose promise
+// bitwise-identical results between its sequential and sharded paths.
 //
 // MimicNet's Figure 2 observation—that parallelizing a tightly coupled
 // data center simulation often makes it *slower*—falls directly out of
@@ -19,44 +30,87 @@ import (
 
 // LP is one logical process of a parallel simulation. Its Simulator must
 // only be touched by the LP itself once Parallel.Run starts, except via
-// Send.
+// SendTo.
 type LP struct {
 	ID  int
 	Sim *Simulator
 
-	mu    sync.Mutex
-	inbox []remoteEvent
+	par *Parallel
+
+	// sendSeq numbers this LP's outgoing remote events. It is only
+	// touched by the LP's own execution, so no synchronization is
+	// needed; together with the source ID it gives every remote event a
+	// deterministic total order independent of worker scheduling.
+	sendSeq uint64
+
+	mu      sync.Mutex
+	inbox   []remoteEvent
+	scratch []remoteEvent // drained double-buffer, reused every window
 }
 
 type remoteEvent struct {
-	at Time
-	fn func()
+	at  Time
+	src int32
+	seq uint64
+	fn  func()
 }
 
-// Send schedules fn on the destination LP at absolute time at. It is safe
-// to call from any LP during Parallel.Run, provided at is at least one
-// lookahead window in the future (the caller's link latency guarantees
-// this in a correctly partitioned model).
-func (lp *LP) Send(at Time, fn func()) {
-	lp.mu.Lock()
-	lp.inbox = append(lp.inbox, remoteEvent{at, fn})
-	lp.mu.Unlock()
+// SendTo schedules fn on the destination LP at absolute time at. It is
+// safe to call from the sending LP during Parallel.Run, provided at is at
+// least one lookahead window in the future (the caller's link latency
+// guarantees this in a correctly partitioned model).
+func (lp *LP) SendTo(dst *LP, at Time, fn func()) {
+	re := remoteEvent{at: at, src: int32(lp.ID), seq: lp.sendSeq, fn: fn}
+	lp.sendSeq++
+	dst.mu.Lock()
+	dst.inbox = append(dst.inbox, re)
+	dst.mu.Unlock()
 }
 
+// drainInbox moves accumulated remote events into the LP's local queue.
+// It is only called between windows (no concurrent SendTo), so the inbox
+// snapshot—and therefore the resulting schedule—is deterministic.
+//
+// A remote event timestamped before the LP's clock is a causality clamp:
+// the message arrived on a window boundary and is rewritten to fire
+// immediately. Within one lookahead window that is the documented
+// conservative-PDES boundary case and is merely counted; beyond one
+// window it means the model's partitioning lied about its minimum
+// cross-LP latency, which is a bug worth crashing on, not absorbing.
 func (lp *LP) drainInbox() {
 	lp.mu.Lock()
 	pending := lp.inbox
-	lp.inbox = nil
+	lp.inbox = lp.scratch[:0]
+	lp.scratch = pending
 	lp.mu.Unlock()
-	for _, re := range pending {
+	if len(pending) == 0 {
+		return
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		a, b := &pending[i], &pending[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	now := lp.Sim.Now()
+	for i := range pending {
+		re := &pending[i]
 		at := re.at
-		if at < lp.Sim.Now() {
-			// A message from the previous window landing exactly on the
-			// boundary; execute as soon as possible without violating
-			// monotonic time.
-			at = lp.Sim.Now()
+		if at < now {
+			if lag := now - at; lag > lp.par.Lookahead {
+				panic(fmt.Sprintf(
+					"sim: causality violation on LP %d: remote event at %v is %v behind now %v, more than one lookahead window (%v); the model's cross-LP latency bound is wrong",
+					lp.ID, at, lag, now, lp.par.Lookahead))
+			}
+			lp.par.CausalityClamps++
+			at = now
 		}
 		lp.Sim.At(at, re.fn)
+		re.fn = nil // release the closure once scheduled
 	}
 }
 
@@ -66,29 +120,90 @@ type Parallel struct {
 	LPs       []*LP
 	Lookahead Time
 
+	// NumWorkers bounds how many OS-thread-backed goroutines execute LPs
+	// concurrently. Zero means GOMAXPROCS. The worker count never
+	// affects results, only wall-clock time.
+	NumWorkers int
+
 	// Barriers counts the number of synchronization rounds executed, a
 	// proxy for PDES overhead reported by the scalability experiments.
 	Barriers uint64
+
+	// CausalityClamps counts remote events that landed on a window
+	// boundary and were rewritten to "now" (see LP.drainInbox). A
+	// handful per run is the expected conservative-PDES edge case; a
+	// large count means lookahead is set too close to the true minimum
+	// latency. Only mutated between windows, so reads after Run need no
+	// synchronization.
+	CausalityClamps uint64
+
+	next Time // resume point for successive Run calls
 }
 
 // NewParallel creates n LPs with fresh simulators.
 func NewParallel(n int, lookahead Time) *Parallel {
 	p := &Parallel{Lookahead: lookahead}
 	for i := 0; i < n; i++ {
-		p.LPs = append(p.LPs, &LP{ID: i, Sim: New()})
+		p.LPs = append(p.LPs, &LP{ID: i, Sim: New(), par: p})
 	}
 	return p
 }
 
+// workers resolves the effective worker count for this host.
+func (p *Parallel) workers() int {
+	w := p.NumWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(p.LPs) {
+		w = len(p.LPs)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Run advances all LPs to the given simulated time using window-barrier
-// synchronization. It returns the total number of events processed across
-// all LPs.
+// synchronization, then delivers any boundary messages so nothing is
+// silently lost. Run is resumable: successive calls continue from the
+// previous horizon. It returns the total number of events processed
+// across all LPs.
+//
+// Worker goroutines are persistent for the duration of the call: each
+// window, idle workers claim LPs from a shared cursor and the main
+// goroutine performs the (cheap, deterministic) inbox drains between
+// windows. This costs two lightweight barrier crossings per window
+// instead of len(LPs) goroutine spawns.
 func (p *Parallel) Run(until Time) uint64 {
 	if p.Lookahead <= 0 {
 		panic("sim: PDES lookahead must be positive")
 	}
-	var wg sync.WaitGroup
-	for window := Time(0); window < until; window += p.Lookahead {
+	nw := p.workers()
+	if nw <= 1 {
+		p.runSequential(until)
+	} else {
+		p.runParallel(until, nw)
+	}
+	// Final inbox drain so no boundary message is silently lost.
+	for _, lp := range p.LPs {
+		lp.drainInbox()
+		lp.Sim.RunUntil(until)
+	}
+	p.next = until
+	var total uint64
+	for _, lp := range p.LPs {
+		total += lp.Sim.Processed()
+	}
+	return total
+}
+
+// runSequential executes the same window schedule as runParallel on the
+// calling goroutine. Because drains happen at identical boundaries and
+// remote events are ordered by (time, src, seq) either way, it produces
+// bitwise-identical schedules to any worker count.
+func (p *Parallel) runSequential(until Time) {
+	for window := p.next; window < until; window += p.Lookahead {
 		limit := window + p.Lookahead
 		if limit > until {
 			limit = until
@@ -97,23 +212,58 @@ func (p *Parallel) Run(until Time) uint64 {
 			lp.drainInbox()
 		}
 		for _, lp := range p.LPs {
-			wg.Add(1)
-			go func(lp *LP) {
-				defer wg.Done()
-				lp.Sim.RunUntil(limit)
-			}(lp)
+			lp.Sim.RunUntil(limit)
 		}
-		wg.Wait()
 		p.Barriers++
 	}
-	// Final inbox drain so no message is silently lost.
-	for _, lp := range p.LPs {
-		lp.drainInbox()
-		lp.Sim.RunUntil(until)
+}
+
+func (p *Parallel) runParallel(until Time, nw int) {
+	ws := &workerState{limit: make(chan Time), done: make(chan struct{})}
+	for w := 0; w < nw; w++ {
+		go ws.work(p.LPs)
 	}
-	var total uint64
-	for _, lp := range p.LPs {
-		total += lp.Sim.Processed()
+	for window := p.next; window < until; window += p.Lookahead {
+		limit := window + p.Lookahead
+		if limit > until {
+			limit = until
+		}
+		// Drain phase: single goroutine, no SendTo can run concurrently,
+		// so inbox snapshots are deterministic.
+		for _, lp := range p.LPs {
+			lp.drainInbox()
+		}
+		// Execute phase: workers claim LPs from the cursor.
+		ws.cursor.Store(0)
+		for w := 0; w < nw; w++ {
+			ws.limit <- limit
+		}
+		for w := 0; w < nw; w++ {
+			<-ws.done
+		}
+		p.Barriers++
 	}
-	return total
+	close(ws.limit)
+}
+
+// workerState is the reusable barrier shared by Run's persistent
+// workers: a window broadcast (limit), an atomic LP-claim cursor, and a
+// completion gather (done).
+type workerState struct {
+	limit  chan Time
+	done   chan struct{}
+	cursor atomic.Int64
+}
+
+func (ws *workerState) work(lps []*LP) {
+	for limit := range ws.limit {
+		for {
+			i := int(ws.cursor.Add(1) - 1)
+			if i >= len(lps) {
+				break
+			}
+			lps[i].Sim.RunUntil(limit)
+		}
+		ws.done <- struct{}{}
+	}
 }

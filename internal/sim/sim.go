@@ -5,10 +5,15 @@
 // fire at a designated simulated time. Events scheduled for the same time
 // fire in scheduling order, which—together with seeded randomness—makes
 // whole-simulation runs bit-for-bit reproducible.
+//
+// The hot path is allocation-free in steady state: Event records come from
+// a per-simulator free list and are recycled the moment they fire or are
+// canceled, and the pending queue is a 4-ary min-heap of inline
+// (time, seq) keys, so ordering decisions never chase the Event pointer
+// and no container/heap interface boxing occurs.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -34,27 +39,61 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 // String formats the time as seconds with nanosecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.9fs", t.Seconds()) }
 
-// Event is a scheduled callback. Events are created by Simulator.At and
-// Simulator.After and may be canceled before they fire.
+// Event is a pooled callback record. Callers never hold *Event directly;
+// At and After return an EventRef handle whose generation counter makes
+// Cancel safe even after the record has been recycled and reused.
 type Event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	index    int // heap index; -1 once popped
+	fn   func()
+	at   Time
+	gen  uint32
+	next *Event // free-list link
 }
 
-// At returns the simulated time the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// EventRef is a cancelable handle to a scheduled event. The zero value is
+// an inert reference: canceling it is a no-op. A ref left around after its
+// event fired (or was canceled) is likewise inert—the generation counter
+// no longer matches, so Cancel cannot touch whatever the recycled record
+// is now scheduled as.
+type EventRef struct {
+	e   *Event
+	gen uint32
+}
+
+// Scheduled reports whether the referenced event is still pending.
+func (r EventRef) Scheduled() bool { return r.e != nil && r.e.gen == r.gen }
+
+// At returns the time the referenced event is scheduled to fire, or -1 if
+// the event already fired or was canceled.
+func (r EventRef) At() Time {
+	if !r.Scheduled() {
+		return -1
+	}
+	return r.e.at
+}
+
+// heapEntry is one pending-queue slot. The ordering key (at, seq) is
+// stored inline so sift operations compare without touching the Event.
+// gen snapshots the event's generation at scheduling time; a mismatch at
+// pop time means the entry was canceled (and the record possibly reused).
+type heapEntry struct {
+	at  Time
+	seq uint64
+	e   *Event
+	gen uint32
+}
+
+// poolBlock is how many Event records one free-list refill allocates.
+const poolBlock = 256
 
 // Simulator owns the event queue and the simulated clock.
 // The zero value is not usable; call New.
 type Simulator struct {
 	now       Time
-	queue     eventQueue
+	heap      []heapEntry
 	seq       uint64
 	processed uint64
 	stopped   bool
+	free      *Event // free list of recycled Event records
 }
 
 // New returns an empty simulator at time zero.
@@ -71,36 +110,66 @@ func (s *Simulator) Processed() uint64 { return s.processed }
 
 // Pending returns the number of events still queued (including canceled
 // events that have not yet been discarded).
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int { return len(s.heap) }
 
-// At schedules fn to run at absolute simulated time t. Scheduling in the
-// past panics: it indicates a causality bug in the caller.
-func (s *Simulator) At(t Time, fn func()) *Event {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+// alloc takes an Event record from the free list, refilling it with a
+// block allocation when empty so steady-state scheduling allocates
+// nothing.
+func (s *Simulator) alloc() *Event {
+	if s.free == nil {
+		block := make([]Event, poolBlock)
+		for i := range block {
+			block[i].next = s.free
+			s.free = &block[i]
+		}
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, e)
+	e := s.free
+	s.free = e.next
+	e.next = nil
 	return e
 }
 
+// recycle invalidates every outstanding EventRef to e and returns the
+// record to the free list.
+func (s *Simulator) recycle(e *Event) {
+	e.gen++
+	e.fn = nil
+	e.next = s.free
+	s.free = e
+}
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past panics: it indicates a causality bug in the caller.
+func (s *Simulator) At(t Time, fn func()) EventRef {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := s.alloc()
+	e.at = t
+	e.fn = fn
+	s.heap = append(s.heap, heapEntry{at: t, seq: s.seq, e: e, gen: e.gen})
+	s.seq++
+	s.siftUp(len(s.heap) - 1)
+	return EventRef{e: e, gen: e.gen}
+}
+
 // After schedules fn to run d after the current simulated time.
-func (s *Simulator) After(d Time, fn func()) *Event {
+func (s *Simulator) After(d Time, fn func()) EventRef {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return s.At(s.now+d, fn)
 }
 
-// Cancel prevents a pending event from firing. Canceling an event that
-// already fired (or was already canceled) is a no-op.
-func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.canceled {
+// Cancel prevents a pending event from firing. Canceling a zero ref, or a
+// ref whose event already fired or was already canceled, is a no-op. The
+// record is recycled immediately; its stale heap entry is discarded by
+// generation mismatch when it surfaces.
+func (s *Simulator) Cancel(r EventRef) {
+	if r.e == nil || r.e.gen != r.gen {
 		return
 	}
-	e.canceled = true
-	e.fn = nil // release references early
+	s.recycle(r.e)
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -116,18 +185,20 @@ func (s *Simulator) Run() {
 // pending event, so repeated RunUntil calls advance monotonically).
 func (s *Simulator) RunUntil(limit Time) {
 	s.stopped = false
-	for len(s.queue) > 0 && !s.stopped {
-		next := s.queue[0]
-		if next.at > limit {
+	for len(s.heap) > 0 && !s.stopped {
+		top := s.heap[0]
+		if top.at > limit {
 			break
 		}
-		heap.Pop(&s.queue)
-		if next.canceled {
-			continue
+		s.pop()
+		if top.e.gen != top.gen {
+			continue // canceled; record already recycled
 		}
-		s.now = next.at
+		s.now = top.at
 		s.processed++
-		next.fn()
+		fn := top.e.fn
+		s.recycle(top.e)
+		fn()
 	}
 	if s.now < limit && limit < Time(1<<62) {
 		s.now = limit
@@ -137,49 +208,80 @@ func (s *Simulator) RunUntil(limit Time) {
 // Step executes exactly one non-canceled event if one is pending and
 // reports whether it did.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		next := heap.Pop(&s.queue).(*Event)
-		if next.canceled {
+	for len(s.heap) > 0 {
+		top := s.heap[0]
+		s.pop()
+		if top.e.gen != top.gen {
 			continue
 		}
-		s.now = next.at
+		s.now = top.at
 		s.processed++
-		next.fn()
+		fn := top.e.fn
+		s.recycle(top.e)
+		fn()
 		return true
 	}
 	return false
 }
 
-// eventQueue is a binary min-heap ordered by (time, seq).
-type eventQueue []*Event
+// The pending queue is a 4-ary min-heap ordered by (at, seq). 4-ary wins
+// over binary here because sift-down dominates (every pop sifts a leaf
+// from the root) and the shallower tree does fewer cache-missing levels;
+// the four children share one 32-byte-entry cache span.
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func entryLess(a, b *heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+func (s *Simulator) siftUp(i int) {
+	h := s.heap
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !entryLess(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+// pop removes the minimum entry (the caller has already copied h[0]).
+func (s *Simulator) pop() {
+	h := s.heap
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = heapEntry{} // release the Event reference
+	s.heap = h[:n]
+	if n > 1 {
+		s.siftDown(0)
+	}
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+func (s *Simulator) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if entryLess(&h[c], &h[min]) {
+				min = c
+			}
+		}
+		if !entryLess(&h[min], &h[i]) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }

@@ -45,7 +45,7 @@ type HomaSender struct {
 	granted int64 // limit authorized by the receiver
 	prio    int   // current priority for scheduled data
 
-	retxEvent *sim.Event
+	retxEvent sim.EventRef
 	lastAcked int64
 	done      bool
 }
@@ -126,10 +126,8 @@ func (h *HomaSender) HandleAck(pkt *netsim.Packet) {
 }
 
 func (h *HomaSender) armRetx() {
-	if h.retxEvent != nil {
-		h.env.Sim.Cancel(h.retxEvent)
-		h.retxEvent = nil
-	}
+	h.env.Sim.Cancel(h.retxEvent)
+	h.retxEvent = sim.EventRef{}
 	if h.done {
 		return
 	}
@@ -138,7 +136,7 @@ func (h *HomaSender) armRetx() {
 }
 
 func (h *HomaSender) onRetxTimeout() {
-	h.retxEvent = nil
+	h.retxEvent = sim.EventRef{}
 	if h.done {
 		return
 	}
@@ -156,10 +154,8 @@ func (h *HomaSender) onRetxTimeout() {
 
 func (h *HomaSender) complete() {
 	h.done = true
-	if h.retxEvent != nil {
-		h.env.Sim.Cancel(h.retxEvent)
-		h.retxEvent = nil
-	}
+	h.env.Sim.Cancel(h.retxEvent)
+	h.retxEvent = sim.EventRef{}
 	if h.env.OnComplete != nil {
 		h.env.OnComplete(h.flow)
 	}

@@ -46,7 +46,7 @@ type TCPSender struct {
 
 	srtt, rttvar sim.Time
 	rto          sim.Time
-	rtoEvent     *sim.Event
+	rtoEvent     sim.EventRef
 	backoff      uint
 
 	done bool
@@ -196,10 +196,8 @@ func (t *TCPSender) updateRTO(rtt sim.Time) {
 }
 
 func (t *TCPSender) armRTO() {
-	if t.rtoEvent != nil {
-		t.env.Sim.Cancel(t.rtoEvent)
-		t.rtoEvent = nil
-	}
+	t.env.Sim.Cancel(t.rtoEvent)
+	t.rtoEvent = sim.EventRef{}
 	if t.sndUna >= t.flow.Bytes || t.sndNxt == t.sndUna {
 		return
 	}
@@ -211,7 +209,7 @@ func (t *TCPSender) armRTO() {
 }
 
 func (t *TCPSender) onRTO() {
-	t.rtoEvent = nil
+	t.rtoEvent = sim.EventRef{}
 	if t.done || t.sndUna >= t.flow.Bytes {
 		return
 	}
@@ -231,10 +229,8 @@ func (t *TCPSender) onRTO() {
 
 func (t *TCPSender) complete() {
 	t.done = true
-	if t.rtoEvent != nil {
-		t.env.Sim.Cancel(t.rtoEvent)
-		t.rtoEvent = nil
-	}
+	t.env.Sim.Cancel(t.rtoEvent)
+	t.rtoEvent = sim.EventRef{}
 	if t.env.OnComplete != nil {
 		t.env.OnComplete(t.flow)
 	}
