@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-all bench-json fuzz ci clean
+.PHONY: build test test-race vet bench bench-all bench-json fuzz ci serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -10,9 +10,10 @@ test:
 
 # Race-detector pass over the packages with concurrency: the PDES
 # kernel and its worker pool, the sharded fabric, the batched inference
-# engine, and the cluster composition layer that drives them.
+# engine, the cluster composition layer that drives them, and the
+# estimation service (scheduler, registry, HTTP surface).
 test-race:
-	$(GO) test -race ./internal/sim ./internal/netsim ./internal/core ./internal/cluster ./internal/ml
+	$(GO) test -race ./internal/sim ./internal/netsim ./internal/core ./internal/cluster ./internal/ml ./internal/serve
 
 # vet also cross-checks that the pure-Go build path compiles, so an
 # accelerator-tagged file can't silently become load-bearing.
@@ -40,6 +41,14 @@ bench-all:
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzMulLanes -fuzztime 30s ./internal/ml
 
+# End-to-end daemon check: boots mimicnetd on a random port, runs a cold
+# job over HTTP, proves the identical resubmission skips training via a
+# registry cache hit in /stats, measures cold/warm latency and warm
+# throughput (BENCH_serve.json), and SIGTERMs itself mid-job to verify
+# graceful drain (in-flight job finishes, new submissions rejected).
+serve-smoke:
+	$(GO) run ./cmd/mimicnetd -smoke -bench-json BENCH_serve.json
+
 clean:
 	$(GO) clean -testcache
-	rm -f mimicnet.test bench_output.txt BENCH_compose.json
+	rm -f mimicnet.test bench_output.txt BENCH_compose.json BENCH_serve.json

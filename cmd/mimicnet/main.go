@@ -14,9 +14,16 @@
 //
 //	mimicnet -clusters 32 -protocol dctcp -run 300ms -save models.json
 //	mimicnet -clusters 128 -models models.json
+//
+// With -server, the whole pipeline instead runs on a mimicnetd daemon
+// (see cmd/mimicnetd), whose content-addressed registry amortizes
+// training across invocations and users:
+//
+//	mimicnet -server http://127.0.0.1:9090 -clusters 128 -protocol dctcp
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +32,7 @@ import (
 	"mimicnet/internal/cluster"
 	"mimicnet/internal/core"
 	"mimicnet/internal/ml"
+	"mimicnet/internal/serve"
 	"mimicnet/internal/sim"
 	"mimicnet/internal/stats"
 	"mimicnet/internal/transport"
@@ -58,8 +66,40 @@ func main() {
 		loadPath  = flag.String("models", "", "reuse trained models from this JSON file")
 		tracePath = flag.String("trace", "", "train from a saved boundary trace (see cmd/trace)")
 		validate  = flag.Bool("validate-directions", false, "run the Appendix-B hybrid per-direction validation before composing")
+		server    = flag.String("server", "", "delegate to a mimicnetd daemon at this base URL instead of running locally")
+		deadline  = flag.Duration("deadline", 0, "with -server: wall-clock bound on the remote job (0 = none)")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		if *loadPath != "" || *savePath != "" || *tracePath != "" || *validate {
+			fatal(fmt.Errorf("-server cannot be combined with -models/-save/-trace/-validate-directions; the daemon manages artifacts via its registry"))
+		}
+		runRemote(*server, serve.JobSpec{
+			Clusters:      *clusters,
+			Racks:         *racks,
+			Hosts:         *hosts,
+			Aggs:          *aggs,
+			CoresPerAgg:   *cores,
+			Protocol:      *protocol,
+			Load:          *load,
+			MeanFlowBytes: *meanFlow,
+			ECNK:          *ecnK,
+			Seed:          *seed,
+			WorkloadMs:    float64(*duration) / float64(time.Millisecond),
+			RunMs:         float64(*run) / float64(time.Millisecond),
+			SmallRunMs:    float64(*smallRun) / float64(time.Millisecond),
+			Window:        *window,
+			Hidden:        *hidden,
+			Layers:        *layers,
+			Epochs:        *epochs,
+			Cell:          *cellType,
+			Tune:          *tune,
+			TuneMetric:    *tuneSizes,
+			DeadlineMs:    float64(*deadline) / float64(time.Millisecond),
+		})
+		return
+	}
 
 	p, err := transport.ByName(*protocol)
 	fatal(err)
@@ -198,6 +238,66 @@ func main() {
 	printDist("fct_seconds", res.FCTs)
 	printDist("throughput_Bps", res.Throughputs)
 	printDist("rtt_seconds", res.RTTs)
+}
+
+// runRemote submits the spec to a mimicnetd daemon, streams progress
+// while polling, and prints the same summary shape as a local run.
+func runRemote(base string, spec serve.JobSpec) {
+	c := serve.NewClient(base)
+	st, err := c.Submit(spec)
+	if busy, ok := err.(*serve.BusyError); ok {
+		fatal(fmt.Errorf("daemon is at capacity; retry in %v", busy.RetryAfter))
+	}
+	fatal(err)
+	fmt.Printf("submitted job %s to %s (model key %.12s…)\n", st.ID, base, st.ModelKey)
+
+	lastPhase := ""
+	final, err := c.Wait(context.Background(), st.ID, 250*time.Millisecond, func(cur serve.JobStatus) {
+		if cur.Progress.Phase != "" && cur.Progress.Phase != lastPhase {
+			lastPhase = cur.Progress.Phase
+			fmt.Printf("phase: %s\n", lastPhase)
+		}
+		if cur.Progress.Phase == "compose" && cur.Progress.Events > 0 {
+			fmt.Printf("  t=%.3fs events=%d (%.3g events/sec)\r",
+				cur.Progress.SimTimeS, cur.Progress.Events, cur.Progress.EventsPerSec)
+		}
+	})
+	fatal(err)
+	fmt.Println()
+	switch final.State {
+	case serve.StateDone:
+	case serve.StateCancelled:
+		fmt.Printf("job cancelled: %s\n", final.Error)
+	default:
+		fatal(fmt.Errorf("job %s %s: %s", final.ID, final.State, final.Error))
+	}
+	r := final.Result
+	if r == nil {
+		fatal(fmt.Errorf("job %s finished without results", final.ID))
+	}
+	if r.CacheHit {
+		fmt.Printf("trained models reused from the daemon registry (train phase %v)\n",
+			time.Duration(r.TrainMs*float64(time.Millisecond)).Round(time.Millisecond))
+	} else {
+		fmt.Printf("trained on the daemon          %v\n",
+			time.Duration(r.TrainMs*float64(time.Millisecond)).Round(time.Millisecond))
+	}
+	fmt.Printf("large-scale simulation  %v (%.2f sim-sec/sec)\n",
+		time.Duration(r.ComposeMs*float64(time.Millisecond)).Round(time.Millisecond), r.SimSecPerSec)
+	fmt.Printf("events processed        %d\n", r.Events)
+	fmt.Printf("flows                   %d started, %d completed\n", r.FlowsStarted, r.FlowsCompleted)
+	printRemoteDist("fct_seconds", r.FCTSeconds)
+	printRemoteDist("throughput_Bps", r.ThroughputBps)
+	printRemoteDist("rtt_seconds", r.RTTSeconds)
+}
+
+func printRemoteDist(name string, d serve.Dist) {
+	if d.N == 0 {
+		fmt.Printf("%-22s (no samples)\n", name)
+		return
+	}
+	fmt.Printf("%-22s n=%d p50=%.4g p90=%.4g p99=%.4g mean=%.4g\n",
+		name, d.N, d.P50, d.P90, d.P99, d.Mean)
 }
 
 func printDist(name string, d []float64) {

@@ -1,0 +1,143 @@
+// Command mimicnetd is the MimicNet estimation daemon: a long-running
+// simulation-as-a-service process around internal/serve. It queues
+// estimation jobs (train → tune → compose), caches trained Mimic models
+// in a content-addressed registry so identical configurations train at
+// most once, and exposes a small JSON API:
+//
+//	POST   /v1/jobs      submit a job        (429 + Retry-After when full)
+//	GET    /v1/jobs/{id} poll status/progress/result
+//	DELETE /v1/jobs/{id} cancel
+//	GET    /healthz      liveness (503 while draining)
+//	GET    /stats        scheduler + registry counters
+//
+// SIGTERM/SIGINT drain gracefully: new submissions are rejected, queued
+// and running jobs finish, then the process exits.
+//
+// Example:
+//
+//	mimicnetd -addr 127.0.0.1:9090 -store /var/lib/mimicnet/models
+//	curl -s -X POST localhost:9090/v1/jobs -d '{"clusters": 32}'
+//	mimicnet -server http://127.0.0.1:9090 -clusters 32
+//
+// The -smoke flag runs the self-test used by `make serve-smoke`: boot on
+// a random port, run a cold job, prove the identical warm job skips
+// training via the registry, measure cold/warm latency and warm
+// throughput (written to -bench-json), then SIGTERM itself mid-job to
+// verify the drain contract.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"mimicnet/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:9090", "listen address")
+		store        = flag.String("store", defaultStore(), "on-disk model registry directory")
+		memCache     = flag.Int("mem-cache", 8, "decoded models held in the in-memory LRU")
+		queueDepth   = flag.Int("queue", 64, "job queue capacity (admission control bound)")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "max wait for in-flight jobs on shutdown")
+		smoke        = flag.Bool("smoke", false, "run the serve-smoke self-test and exit")
+		benchJSON    = flag.String("bench-json", "", "write smoke latency/throughput measurements to this file")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(*queueDepth, *workers, *drainTimeout, *benchJSON); err != nil {
+			log.Fatalf("smoke: FAIL: %v", err)
+		}
+		fmt.Println("smoke: PASS")
+		return
+	}
+
+	d, err := newDaemon(*addr, *store, *memCache, *queueDepth, *workers, *drainTimeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("mimicnetd listening on %s (registry %s, queue %d, workers %d)",
+		d.URL(), *store, *queueDepth, d.sched.Workers())
+	d.Serve()
+	log.Printf("mimicnetd drained, exiting")
+}
+
+func defaultStore() string {
+	if dir, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(dir, "mimicnet", "models")
+	}
+	return filepath.Join(os.TempDir(), "mimicnet-models")
+}
+
+// daemon bundles the serve stack with its listener and shutdown path so
+// the smoke self-test exercises the exact production signal handling.
+type daemon struct {
+	reg          *serve.Registry
+	sched        *serve.Scheduler
+	httpSrv      *http.Server
+	ln           net.Listener
+	drainTimeout time.Duration
+	done         chan struct{} // closed once Serve has fully drained
+}
+
+func newDaemon(addr, store string, memCache, queueDepth, workers int, drainTimeout time.Duration) (*daemon, error) {
+	reg, err := serve.NewRegistry(store, memCache)
+	if err != nil {
+		return nil, err
+	}
+	sched := serve.NewScheduler(reg, queueDepth, workers)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &daemon{
+		reg:          reg,
+		sched:        sched,
+		httpSrv:      &http.Server{Handler: serve.NewServer(sched, reg).Handler()},
+		ln:           ln,
+		drainTimeout: drainTimeout,
+		done:         make(chan struct{}),
+	}, nil
+}
+
+// URL returns the daemon's base URL (useful with ":0" listen addresses).
+func (d *daemon) URL() string { return "http://" + d.ln.Addr().String() }
+
+// Serve blocks until SIGTERM/SIGINT, then drains: admission closes
+// first, in-flight and queued jobs run to completion (bounded by
+// -drain-timeout), and only then does the HTTP listener shut down — so
+// clients can keep polling their jobs to the end.
+func (d *daemon) Serve() {
+	defer close(d.done)
+	go func() {
+		if err := d.httpSrv.Serve(d.ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("mimicnetd: http: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	s := <-sig
+	signal.Stop(sig)
+	log.Printf("mimicnetd: %v: draining (running jobs finish, new submissions rejected)", s)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), d.drainTimeout)
+	defer cancel()
+	if err := d.sched.Drain(drainCtx); err != nil {
+		log.Printf("mimicnetd: drain incomplete: %v", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	_ = d.httpSrv.Shutdown(shutCtx)
+}

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"syscall"
+	"time"
+
+	"mimicnet/internal/serve"
+)
+
+// smokeSpec is the smallest job that exercises the real pipeline:
+// 2-cluster estimate, 1-rack clusters, thumbnail model. Trains in well
+// under a second.
+func smokeSpec() serve.JobSpec {
+	return serve.JobSpec{
+		Clusters: 2, Racks: 1, Hosts: 2, Aggs: 1, CoresPerAgg: 1,
+		WorkloadMs: 40, RunMs: 60, SmallRunMs: 50,
+		Window: 4, Hidden: 6, Epochs: 1,
+	}
+}
+
+// smokeBench is the BENCH_serve.json payload: the amortization numbers
+// the service exists to deliver.
+type smokeBench struct {
+	ColdMs         float64 `json:"cold_job_ms"` // submit→done, training included
+	WarmMs         float64 `json:"warm_job_ms"` // submit→done, registry hit
+	WarmSpeedup    float64 `json:"warm_speedup"`
+	WarmJobsPerSec float64 `json:"warm_jobs_per_sec"`
+	WarmBatch      int     `json:"warm_batch_jobs"`
+	RegistryHits   uint64  `json:"registry_hits"`
+	RegistryMisses uint64  `json:"registry_misses"`
+}
+
+// runSmoke is the serve-smoke acceptance test, against the real daemon
+// stack (real listener, real signal handling):
+//
+//  1. cold job over HTTP completes and is not a cache hit;
+//  2. the identical job resubmitted is a registry hit visible in /stats,
+//     with a bitwise-identical estimate;
+//  3. a batch of warm jobs measures steady-state throughput;
+//  4. SIGTERM mid-job drains: the in-flight job finishes (not
+//     cancelled), new submissions are rejected, the process-level serve
+//     loop returns.
+func runSmoke(queueDepth, workers int, drainTimeout time.Duration, benchPath string) error {
+	store, err := os.MkdirTemp("", "mimicnet-smoke-registry-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(store)
+
+	d, err := newDaemon("127.0.0.1:0", store, 8, queueDepth, workers, drainTimeout)
+	if err != nil {
+		return err
+	}
+	go d.Serve()
+	c := serve.NewClient(d.URL())
+	for i := 0; !c.Healthy(); i++ {
+		if i > 100 {
+			return fmt.Errorf("daemon at %s never became healthy", d.URL())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	log.Printf("smoke: daemon up at %s", d.URL())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	runJob := func(spec serve.JobSpec) (serve.JobStatus, time.Duration, error) {
+		t0 := time.Now()
+		st, err := c.Submit(spec)
+		if err != nil {
+			return st, 0, err
+		}
+		st, err = c.Wait(ctx, st.ID, 10*time.Millisecond, nil)
+		if err == nil && st.State != serve.StateDone {
+			err = fmt.Errorf("job %s: state=%s err=%q", st.ID, st.State, st.Error)
+		}
+		return st, time.Since(t0), err
+	}
+
+	// 1. Cold job: trains, composes, delivers an estimate.
+	cold, coldDur, err := runJob(smokeSpec())
+	if err != nil {
+		return fmt.Errorf("cold job: %w", err)
+	}
+	if cold.Result.CacheHit {
+		return fmt.Errorf("cold job reported a cache hit on an empty registry")
+	}
+	if cold.Result.FCTSeconds.N == 0 {
+		return fmt.Errorf("cold job produced no FCT samples")
+	}
+	log.Printf("smoke: cold job %s done in %v (train %.0fms, compose %.0fms, %d FCT samples)",
+		cold.ID, coldDur.Round(time.Millisecond), cold.Result.TrainMs, cold.Result.ComposeMs, cold.Result.FCTSeconds.N)
+
+	// 2. Warm job: identical spec must skip training via the registry.
+	warm, warmDur, err := runJob(smokeSpec())
+	if err != nil {
+		return fmt.Errorf("warm job: %w", err)
+	}
+	if !warm.Result.CacheHit {
+		return fmt.Errorf("identical resubmission did not hit the model registry")
+	}
+	if warm.ModelKey != cold.ModelKey {
+		return fmt.Errorf("identical specs keyed differently: %s vs %s", warm.ModelKey, cold.ModelKey)
+	}
+	if warm.Result.FCTSeconds != cold.Result.FCTSeconds {
+		return fmt.Errorf("warm estimate diverged from cold: %+v vs %+v",
+			warm.Result.FCTSeconds, cold.Result.FCTSeconds)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	if stats.Registry.Hits() == 0 {
+		return fmt.Errorf("/stats shows no registry hits after resubmission: %+v", stats.Registry)
+	}
+	log.Printf("smoke: warm job %s done in %v — cache hit confirmed in /stats (hits=%d)",
+		warm.ID, warmDur.Round(time.Millisecond), stats.Registry.Hits())
+
+	// 3. Steady-state throughput: a small batch of warm jobs.
+	const batch = 6
+	t0 := time.Now()
+	ids := make([]string, 0, batch)
+	for i := 0; i < batch; i++ {
+		st, err := c.Submit(smokeSpec())
+		if err != nil {
+			return fmt.Errorf("warm batch submit %d: %w", i, err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		st, err := c.Wait(ctx, id, 10*time.Millisecond, nil)
+		if err != nil {
+			return fmt.Errorf("warm batch wait %s: %w", id, err)
+		}
+		if st.State != serve.StateDone || !st.Result.CacheHit {
+			return fmt.Errorf("warm batch job %s: state=%s cacheHit=%v", id, st.State, st.Result != nil && st.Result.CacheHit)
+		}
+	}
+	batchDur := time.Since(t0)
+	jobsPerSec := float64(batch) / batchDur.Seconds()
+	log.Printf("smoke: %d warm jobs in %v (%.1f jobs/sec)", batch, batchDur.Round(time.Millisecond), jobsPerSec)
+
+	// 4. Drain: SIGTERM ourselves mid-job through the real signal path.
+	// A long-horizon job: flows keep arriving for the whole run so the
+	// compose phase holds real wall-clock time for the signal to land in.
+	long := smokeSpec()
+	long.Clusters = 4
+	long.WorkloadMs = 8000
+	long.RunMs = 8000
+	inflight, err := c.Submit(long)
+	if err != nil {
+		return fmt.Errorf("drain-test submit: %w", err)
+	}
+	for {
+		st, err := c.Job(inflight.ID)
+		if err != nil {
+			return err
+		}
+		if st.State == serve.StateRunning && st.Progress.Phase == "compose" && st.Progress.Events > 0 {
+			break
+		}
+		if st.State != serve.StateQueued && st.State != serve.StateRunning {
+			return fmt.Errorf("drain-test job finished before SIGTERM could land (state %s); raise run_ms", st.State)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("timed out waiting for drain-test job to start composing")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		return err
+	}
+	// Signal delivery is asynchronous; poll until admission closes.
+	rejected := false
+	for i := 0; i < 1000 && !rejected; i++ {
+		_, err := c.Submit(smokeSpec())
+		switch {
+		case err == nil:
+			time.Sleep(5 * time.Millisecond) // raced ahead of the signal; try again
+		case strings.Contains(err.Error(), "draining"):
+			rejected = true
+		default:
+			return fmt.Errorf("submit during drain failed unexpectedly: %w", err)
+		}
+	}
+	if !rejected {
+		return fmt.Errorf("submissions were never rejected after SIGTERM")
+	}
+	// The in-flight job must finish normally, not be cancelled by the
+	// drain. The listener closes once the drain completes, so the final
+	// check goes through the in-process job handle rather than HTTP.
+	handle, err := d.sched.Job(inflight.ID)
+	if err != nil {
+		return fmt.Errorf("drain-test job lookup: %w", err)
+	}
+	select {
+	case <-handle.Done():
+	case <-ctx.Done():
+		return fmt.Errorf("drain-test job never finished")
+	}
+	final := handle.Status()
+	if final.State != serve.StateDone {
+		return fmt.Errorf("in-flight job did not survive the drain: state=%s err=%q", final.State, final.Error)
+	}
+	if final.Result.Cancelled {
+		return fmt.Errorf("in-flight job reported partial results after drain")
+	}
+	select {
+	case <-d.done:
+	case <-ctx.Done():
+		return fmt.Errorf("daemon serve loop never returned after drain")
+	}
+	log.Printf("smoke: SIGTERM drain ok — in-flight job %s finished, new submissions rejected", inflight.ID)
+
+	if benchPath != "" {
+		bench := smokeBench{
+			ColdMs:         float64(coldDur) / float64(time.Millisecond),
+			WarmMs:         float64(warmDur) / float64(time.Millisecond),
+			WarmJobsPerSec: jobsPerSec,
+			WarmBatch:      batch,
+			RegistryHits:   stats.Registry.Hits(),
+			RegistryMisses: stats.Registry.Misses,
+		}
+		if warmDur > 0 {
+			bench.WarmSpeedup = coldDur.Seconds() / warmDur.Seconds()
+		}
+		blob, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(benchPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		log.Printf("smoke: wrote %s (cold %.0fms, warm %.0fms, %.1fx, %.1f jobs/sec)",
+			benchPath, bench.ColdMs, bench.WarmMs, bench.WarmSpeedup, bench.WarmJobsPerSec)
+	}
+	return nil
+}

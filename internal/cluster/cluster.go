@@ -5,6 +5,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -157,6 +158,12 @@ type Simulation struct {
 
 	// FlowsStarted / FlowsCompleted count observable-cluster flows.
 	FlowsStarted, FlowsCompleted int
+
+	// Progress, if set, is invoked periodically from RunContext's run
+	// loop with the simulated clock and events processed so far.
+	Progress func(now sim.Time, events uint64)
+
+	cancelled bool
 }
 
 // New builds a simulation. The workload is generated immediately so the
@@ -308,6 +315,37 @@ func (inst *Simulation) Run(until sim.Time) {
 	inst.Sim.RunUntil(until)
 }
 
+// CancelCheckEvery is how many kernel events elapse between cooperative
+// cancellation checks in RunContext. Small enough that a killed job stops
+// within milliseconds of wall-clock, large enough that the per-event cost
+// is unmeasurable.
+const CancelCheckEvery = 8192
+
+// RunContext advances the simulation to the given simulated time,
+// checking ctx every CancelCheckEvery events and reporting through the
+// Progress hook. On cancellation it stops promptly, leaves the metrics
+// collected so far intact, and returns true; Results then carries
+// Cancelled so partial distributions are never mistaken for a full run.
+func (inst *Simulation) RunContext(ctx context.Context, until sim.Time) (cancelled bool) {
+	if ctx == nil || (ctx.Done() == nil && inst.Progress == nil) {
+		inst.Run(until)
+		return false
+	}
+	inst.Sim.SetTicker(CancelCheckEvery, func(now sim.Time, events uint64) bool {
+		if inst.Progress != nil {
+			inst.Progress(now, events)
+		}
+		if ctx.Err() != nil {
+			inst.cancelled = true
+			return true
+		}
+		return false
+	})
+	defer inst.Sim.SetTicker(0, nil)
+	inst.Sim.RunUntil(until)
+	return inst.cancelled
+}
+
 // Results bundles the three end-to-end metric distributions.
 type Results struct {
 	FCTs        []float64
@@ -317,6 +355,10 @@ type Results struct {
 	Events      uint64 // simulator events processed
 	Packets     uint64 // packets injected into the fabric
 	Drops       uint64
+
+	// Cancelled marks a partial snapshot: the run was interrupted via
+	// RunContext before reaching its horizon.
+	Cancelled bool
 }
 
 // Results snapshots the collected metrics.
@@ -329,5 +371,6 @@ func (inst *Simulation) Results() Results {
 		Events:      inst.Sim.Processed(),
 		Packets:     inst.Fabric.Injected(),
 		Drops:       inst.Fabric.Drops(),
+		Cancelled:   inst.cancelled,
 	}
 }

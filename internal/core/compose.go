@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -40,6 +41,14 @@ type Composed struct {
 	hosts  []*transport.Host
 	flows  []workload.Flow
 	models *MimicModels
+
+	// Progress, if set, is invoked periodically from RunContext's run
+	// loop (per window barrier when sharded, every
+	// cluster.CancelCheckEvery events when sequential) with the
+	// simulated clock and total events processed.
+	Progress func(now sim.Time, events uint64)
+
+	cancelled bool
 }
 
 // shardCtx is the per-logical-process slice of a composition: its
@@ -481,11 +490,52 @@ func (c *Composed) Run(until sim.Time) {
 	} else {
 		c.Sim.RunUntil(until)
 	}
+	c.flushSchedulers()
+}
+
+func (c *Composed) flushSchedulers() {
 	for _, sh := range c.shards {
 		if sh.sched != nil {
 			sh.sched.Flush()
 		}
 	}
+}
+
+// RunContext is Run with cooperative cancellation and progress. The
+// cancellation check rides the window barrier when sharded (windows are a
+// lookahead of simulated time, microseconds of wall-clock) and a
+// per-event ticker when sequential, so a killed job stops promptly in
+// either mode without perturbing an uncancelled run. On cancellation the
+// schedulers are still flushed — model state, RNG streams, and drop
+// accounting stay consistent — and the metrics collected so far remain
+// valid; Results then reports Cancelled rather than the work being
+// abandoned silently. Returns true when the run was cancelled.
+func (c *Composed) RunContext(ctx context.Context, until sim.Time) (cancelled bool) {
+	if ctx == nil || (ctx.Done() == nil && c.Progress == nil) {
+		c.Run(until)
+		return false
+	}
+	tick := func(now sim.Time, events uint64) bool {
+		if c.Progress != nil {
+			c.Progress(now, events)
+		}
+		if ctx.Err() != nil {
+			c.cancelled = true
+			return true
+		}
+		return false
+	}
+	if c.par != nil {
+		c.par.Ticker = tick
+		defer func() { c.par.Ticker = nil }()
+		c.par.Run(until)
+	} else {
+		c.Sim.SetTicker(cluster.CancelCheckEvery, tick)
+		defer c.Sim.SetTicker(0, nil)
+		c.Sim.RunUntil(until)
+	}
+	c.flushSchedulers()
+	return c.cancelled
 }
 
 // Results snapshots the collected metrics in the same shape as a
@@ -513,6 +563,7 @@ func (c *Composed) Results() cluster.Results {
 		Events:      events,
 		Packets:     c.Fabric.Injected(),
 		Drops:       c.Fabric.Drops() + c.MimicDropsIngress() + c.MimicDropsEgress(),
+		Cancelled:   c.cancelled,
 	}
 }
 

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"mimicnet/internal/sim"
+)
+
+// TestModelsSaveLoadRecompose closes the serialization gap end to end:
+// Save → LoadModels → re-compose must produce bitwise-identical Results
+// for every trunk cell type, not just matching ml-layer weights. This is
+// the invariant the serve registry's on-disk store leans on — a cache hit
+// replays a run exactly as if the models had just been trained.
+func TestModelsSaveLoadRecompose(t *testing.T) {
+	base := fastBase()
+	tcfg := fastTrain()
+	ing, eg, _, err := GenerateTrainingData(base, 120*sim.Millisecond, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cell := range []string{"lstm", "gru", "mlp"} {
+		cell := cell
+		t.Run(cell, func(t *testing.T) {
+			cfg := tcfg
+			cfg.Model.CellType = cell
+			models, _, _, err := TrainModels(ing, eg, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob, err := models.Save()
+			if err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadModels(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			run := func(m *MimicModels) interface{} {
+				ccfg := base
+				ccfg.Topo = base.Topo.WithClusters(4)
+				comp, err := Compose(ccfg, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				comp.Run(80 * sim.Millisecond)
+				return comp.Results()
+			}
+			orig := run(models)
+			again := run(loaded)
+			if !reflect.DeepEqual(orig, again) {
+				t.Fatalf("%s: recompose with loaded models diverged from original", cell)
+			}
+		})
+	}
+}
+
+// TestComposedRunContextCancel exercises the cancellation hook threaded
+// through the run loop in both execution modes: the run stops promptly,
+// the metrics collected so far survive, and Results flags the snapshot as
+// partial instead of the work being abandoned silently.
+func TestComposedRunContextCancel(t *testing.T) {
+	base := fastBase()
+	tcfg := fastTrain()
+	ing, eg, _, err := GenerateTrainingData(base, 100*sim.Millisecond, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, _, _, err := TrainModels(ing, eg, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const horizon = 120 * sim.Millisecond
+	for _, mode := range []struct {
+		name    string
+		sharded int
+	}{{"sequential", -1}, {"sharded", 1}} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := base
+			cfg.Topo = base.Topo.WithClusters(4)
+			cfg.ShardedRun = mode.sharded
+
+			full, err := Compose(cfg, models)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cancelled := full.RunContext(context.Background(), horizon); cancelled {
+				t.Fatal("uncancelled run reported cancellation")
+			}
+			fullRes := full.Results()
+			if fullRes.Cancelled {
+				t.Fatal("uncancelled run's Results flagged Cancelled")
+			}
+
+			comp, err := Compose(cfg, models)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			var lastNow sim.Time
+			comp.Progress = func(now sim.Time, events uint64) {
+				lastNow = now
+				if now >= horizon/4 {
+					cancel()
+				}
+			}
+			if cancelled := comp.RunContext(ctx, horizon); !cancelled {
+				t.Fatal("RunContext did not report cancellation")
+			}
+			res := comp.Results()
+			if !res.Cancelled {
+				t.Fatal("partial Results not flagged Cancelled")
+			}
+			if lastNow <= 0 || lastNow >= horizon {
+				t.Fatalf("progress clock %v outside (0, %v)", lastNow, horizon)
+			}
+			if res.Events == 0 {
+				t.Fatal("partial Results lost all progress")
+			}
+			if res.Events >= fullRes.Events {
+				t.Fatalf("cancelled run processed %d events, full run %d — cancellation did not stop early",
+					res.Events, fullRes.Events)
+			}
+		})
+	}
+}
+
+// TestModelKey pins the content-address semantics the registry depends
+// on: determinism, and sensitivity to exactly the knobs that change what
+// a training run produces.
+func TestModelKey(t *testing.T) {
+	base := fastBase()
+	tcfg := fastTrain()
+
+	k1, err := ModelKey(base, 100*sim.Millisecond, tcfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := ModelKey(base, 100*sim.Millisecond, tcfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("identical configs hashed to different keys")
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", k1)
+	}
+
+	seeded := base
+	seeded.Workload.Seed = base.Workload.Seed + 1
+	k3, err := ModelKey(seeded, 100*sim.Millisecond, tcfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Fatal("differing seeds produced the same key")
+	}
+
+	celled := tcfg
+	celled.Model.CellType = "gru"
+	k4, err := ModelKey(base, 100*sim.Millisecond, celled, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4 == k1 {
+		t.Fatal("differing cell types produced the same key")
+	}
+
+	// The target composition size must NOT change the key — that is the
+	// amortization: one trained blob serves every N.
+	big := base
+	big.Topo = base.Topo.WithClusters(128)
+	k5, err := ModelKey(big, 100*sim.Millisecond, tcfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k5 != k1 {
+		t.Fatal("cluster count leaked into the model key")
+	}
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is the tiny HTTP client used by `cmd/mimicnet -server` (and the
+// smoke harness) to delegate estimates to a running mimicnetd.
+type Client struct {
+	Base string // e.g. "http://127.0.0.1:9090"
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the daemon at base.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// BusyError reports a 429 rejection and how long the daemon suggested
+// waiting before retrying.
+type BusyError struct {
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("serve: daemon busy, retry after %v", e.RetryAfter)
+}
+
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var eb errorBody
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		return fmt.Errorf("serve: %s (HTTP %d)", eb.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("serve: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.HTTP.Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enqueues a job. A full queue surfaces as *BusyError carrying the
+// daemon's Retry-After hint.
+func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.HTTP.Post(c.Base+"/v1/jobs", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var st JobStatus
+		return st, json.NewDecoder(resp.Body).Decode(&st)
+	case http.StatusTooManyRequests:
+		sec, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if sec <= 0 {
+			sec = 5
+		}
+		return JobStatus{}, &BusyError{RetryAfter: time.Duration(sec) * time.Second}
+	default:
+		return JobStatus{}, decodeError(resp)
+	}
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.getJSON("/v1/jobs/"+id, &st)
+	return st, err
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.Base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return decodeError(resp)
+	}
+	return nil
+}
+
+// Wait polls the job until it reaches a terminal state, invoking
+// onProgress (if non-nil) after each poll.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, onProgress func(JobStatus)) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		st, err := c.Job(id)
+		if err != nil {
+			return st, err
+		}
+		if onProgress != nil {
+			onProgress(st)
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCancelled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Stats fetches the daemon's counters.
+func (c *Client) Stats() (StatsBody, error) {
+	var st StatsBody
+	err := c.getJSON("/stats", &st)
+	return st, err
+}
+
+// Healthy reports whether the daemon answers /healthz with 200.
+func (c *Client) Healthy() bool {
+	resp, err := c.HTTP.Get(c.Base + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,497 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mimicnet/internal/cluster"
+	"mimicnet/internal/core"
+	"mimicnet/internal/sim"
+	"mimicnet/internal/tuning"
+)
+
+// Admission errors. The HTTP layer maps ErrQueueFull to 429 +
+// Retry-After and ErrDraining to 503.
+var (
+	ErrQueueFull = errors.New("serve: job queue is full")
+	ErrDraining  = errors.New("serve: daemon is draining, not accepting jobs")
+	ErrNotFound  = errors.New("serve: no such job")
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Progress is the streaming view of a running job, updated from the
+// simulation run loop and read by polling GETs.
+type Progress struct {
+	Phase        string  `json:"phase,omitempty"` // train | compose
+	SimTimeS     float64 `json:"sim_time_s"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// Job is one scheduled estimation request.
+type Job struct {
+	id  string
+	key string // content address of the trained artifact
+
+	spec   JobSpec
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	state     State
+	progress  Progress
+	result    *Summary
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// JobStatus is the JSON projection of a Job.
+type JobStatus struct {
+	ID        string     `json:"id"`
+	State     State      `json:"state"`
+	ModelKey  string     `json:"model_key"`
+	Spec      JobSpec    `json:"spec"`
+	Progress  Progress   `json:"progress"`
+	Result    *Summary   `json:"result,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cooperative cancellation (queued jobs skip execution;
+// running jobs stop at the next cancellation check and keep partial
+// results).
+func (j *Job) Cancel() { j.cancel() }
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		ModelKey:  j.key,
+		Spec:      j.spec,
+		Progress:  j.progress,
+		Result:    j.result,
+		Error:     j.errMsg,
+		Submitted: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+func (j *Job) setPhase(phase string) {
+	j.mu.Lock()
+	j.progress.Phase = phase
+	j.mu.Unlock()
+}
+
+func (j *Job) setProgress(p Progress) {
+	j.mu.Lock()
+	j.progress = p
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(state State, result *Summary, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.result = result
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Scheduler is the admission-controlled worker pool that executes jobs:
+// a bounded queue (overflow is rejected at submission, never silently
+// dropped) feeding GOMAXPROCS-sized workers that run the train→tune→
+// compose pipeline with per-job cancellation and deadlines.
+type Scheduler struct {
+	reg *Registry
+
+	queue   chan *Job
+	workers int
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	draining bool
+	nextID   uint64
+	avgSec   float64 // EWMA of job wall-clock, for Retry-After estimates
+
+	counts struct {
+		done, failed, cancelled uint64
+	}
+
+	wg sync.WaitGroup
+
+	// runFn executes one admitted job and must drive it to a terminal
+	// state. Tests substitute a stub; production uses (*Scheduler).runJob.
+	runFn func(ctx context.Context, j *Job)
+}
+
+// NewScheduler starts a scheduler over the registry with the given queue
+// depth (<= 0 selects 64) and worker count (<= 0 selects GOMAXPROCS).
+func NewScheduler(reg *Registry, queueDepth, workers int) *Scheduler {
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{
+		reg:     reg,
+		queue:   make(chan *Job, queueDepth),
+		workers: workers,
+		jobs:    make(map[string]*Job),
+	}
+	s.runFn = s.runJob
+	s.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Workers returns the worker-pool size.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// QueueDepth returns (queued, capacity).
+func (s *Scheduler) QueueDepth() (int, int) { return len(s.queue), cap(s.queue) }
+
+// Submit validates, keys, and enqueues a job. It fails fast with
+// ErrQueueFull when the bounded queue is at capacity and ErrDraining
+// once a drain has begun.
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	spec = spec.Normalized()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	key, err := spec.ModelKey()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		key:       key,
+		spec:      spec,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrDraining
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("j%06d", s.nextID)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	return j, nil
+}
+
+// Job looks up a job by ID.
+func (s *Scheduler) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Jobs lists all known jobs in submission order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Draining reports whether a drain has begun.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops admission immediately (subsequent Submits fail with
+// ErrDraining), lets queued and running jobs finish, and returns when the
+// pool is idle or ctx expires (workers keep finishing in the background
+// on timeout). Safe to call more than once.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// RetryAfter estimates, in whole seconds, how long a rejected client
+// should wait for queue headroom: the observed average job duration
+// scaled by queue occupancy per worker. Clamped to [1, 300].
+func (s *Scheduler) RetryAfter() int {
+	s.mu.Lock()
+	avg := s.avgSec
+	s.mu.Unlock()
+	if avg <= 0 {
+		avg = 5 // no history yet; a training run is seconds at minimum
+	}
+	queued, _ := s.QueueDepth()
+	sec := int(avg*float64(queued+1)/float64(s.workers)) + 1
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 300 {
+		sec = 300
+	}
+	return sec
+}
+
+// SchedulerStats is the /stats projection of the pool.
+type SchedulerStats struct {
+	Workers       int    `json:"workers"`
+	Queued        int    `json:"queued"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Running       int    `json:"running"`
+	Done          uint64 `json:"done"`
+	Failed        uint64 `json:"failed"`
+	Cancelled     uint64 `json:"cancelled"`
+	Draining      bool   `json:"draining"`
+	RetryAfterSec int    `json:"retry_after_sec"`
+}
+
+// Stats snapshots the pool counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	queued, capacity := s.QueueDepth()
+	st := SchedulerStats{
+		Workers:       s.workers,
+		Queued:        queued,
+		QueueCapacity: capacity,
+		RetryAfterSec: s.RetryAfter(),
+	}
+	s.mu.Lock()
+	st.Done = s.counts.done
+	st.Failed = s.counts.failed
+	st.Cancelled = s.counts.cancelled
+	st.Draining = s.draining
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning {
+			st.Running++
+		}
+		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	return st
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.execute(j)
+	}
+}
+
+func (s *Scheduler) execute(j *Job) {
+	if j.ctx.Err() != nil {
+		j.finish(StateCancelled, nil, "cancelled while queued")
+		s.account(StateCancelled, 0)
+		return
+	}
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	ctx := j.ctx
+	if j.spec.DeadlineMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.spec.DeadlineMs*float64(time.Millisecond)))
+		defer cancel()
+	}
+	s.runFn(ctx, j)
+
+	st := j.Status()
+	var dur time.Duration
+	if st.Started != nil && st.Finished != nil {
+		dur = st.Finished.Sub(*st.Started)
+	}
+	s.account(st.State, dur)
+}
+
+func (s *Scheduler) account(state State, dur time.Duration) {
+	s.mu.Lock()
+	switch state {
+	case StateDone:
+		s.counts.done++
+	case StateFailed:
+		s.counts.failed++
+	case StateCancelled:
+		s.counts.cancelled++
+	}
+	if dur > 0 {
+		if s.avgSec == 0 {
+			s.avgSec = dur.Seconds()
+		} else {
+			s.avgSec = 0.7*s.avgSec + 0.3*dur.Seconds()
+		}
+	}
+	s.mu.Unlock()
+}
+
+// runJob executes the full pipeline for one job: obtain models through
+// the registry (training at most once across concurrent identical jobs),
+// then compose and run the large-scale estimate with cancellation and
+// progress plumbed into the kernel's run loop.
+func (s *Scheduler) runJob(ctx context.Context, j *Job) {
+	base, tcfg, err := j.spec.Configs()
+	if err != nil {
+		j.finish(StateFailed, nil, err.Error())
+		return
+	}
+
+	j.setPhase("train")
+	t0 := time.Now()
+	models, hit, err := s.reg.Get(ctx, j.key, func() (*core.MimicModels, error) {
+		return trainForSpec(ctx, base, tcfg, j.spec)
+	})
+	trainDur := time.Since(t0)
+	if err != nil {
+		if ctx.Err() != nil {
+			j.finish(StateCancelled, nil, ctx.Err().Error())
+		} else {
+			j.finish(StateFailed, nil, err.Error())
+		}
+		return
+	}
+
+	j.setPhase("compose")
+	cfg := base
+	cfg.Topo = base.Topo.WithClusters(j.spec.Clusters)
+	comp, err := core.Compose(cfg, models)
+	if err != nil {
+		j.finish(StateFailed, nil, err.Error())
+		return
+	}
+	t1 := time.Now()
+	comp.Progress = func(now sim.Time, events uint64) {
+		p := Progress{Phase: "compose", SimTimeS: now.Seconds(), Events: events}
+		if wall := time.Since(t1).Seconds(); wall > 0 {
+			p.EventsPerSec = float64(events) / wall
+		}
+		j.setProgress(p)
+	}
+	cancelled := comp.RunContext(ctx, j.spec.runTime())
+	composeDur := time.Since(t1)
+
+	sum := summarize(comp.Results(), comp.FlowsStarted(), comp.FlowsCompleted(),
+		trainDur, composeDur, j.spec.runTime(), hit)
+	if cancelled {
+		j.finish(StateCancelled, sum, "cancelled mid-run; results are partial")
+		return
+	}
+	j.finish(StateDone, sum, "")
+}
+
+// trainForSpec is the registry's materializer: data generation, training,
+// and optional hyper-parameter tuning. Cancellation is honored at phase
+// boundaries (each phase is itself bounded by the spec's horizons).
+func trainForSpec(ctx context.Context, base cluster.Config, tcfg core.TrainConfig, spec JobSpec) (*core.MimicModels, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ing, eg, _, err := core.GenerateTrainingData(base, spec.smallRunTime(), tcfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if spec.Tune > 0 {
+		valBase := base
+		valBase.Workload.Seed = spec.Seed + 1000 // held-out validation workload
+		validator, err := tuning.NewValidator(valBase, []int{2, 4}, spec.smallRunTime(), spec.TuneMetric)
+		if err != nil {
+			return nil, err
+		}
+		boCfg := tuning.DefaultBayesOptConfig()
+		boCfg.InitPoints = min(4, spec.Tune)
+		boCfg.Iterations = spec.Tune - boCfg.InitPoints
+		res, err := tuning.BayesOpt(tuning.MimicSpace(),
+			tuning.MimicObjective(ing, eg, tcfg, validator), boCfg)
+		if err != nil {
+			return nil, err
+		}
+		tcfg = tuning.ApplyParams(tcfg, res.Best.Params)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	models, _, _, err := core.TrainModels(ing, eg, tcfg)
+	return models, err
+}

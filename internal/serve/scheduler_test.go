@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// stubScheduler returns a scheduler whose runFn blocks until the job's
+// context is cancelled or the returned release channel is closed, so
+// admission/drain/cancel behavior is testable without training models.
+func stubScheduler(t *testing.T, queueDepth, workers int) (*Scheduler, chan struct{}) {
+	t.Helper()
+	reg, err := NewRegistry("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	s := NewScheduler(reg, queueDepth, workers)
+	s.runFn = func(ctx context.Context, j *Job) {
+		select {
+		case <-ctx.Done():
+			j.finish(StateCancelled, nil, ctx.Err().Error())
+		case <-release:
+			j.finish(StateDone, &Summary{}, "")
+		}
+	}
+	return s, release
+}
+
+func waitState(t *testing.T, j *Job, want State) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		if st := j.Status(); st.State == want {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("job %s never reached %s (now %s)", j.ID(), want, j.Status().State)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestSchedulerAdmissionControl: the bounded queue rejects overflow with
+// ErrQueueFull instead of blocking or dropping silently.
+func TestSchedulerAdmissionControl(t *testing.T) {
+	s, release := stubScheduler(t, 1, 1)
+	defer close(release)
+
+	running, err := s.Submit(JobSpec{Clusters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning) // occupies the only worker
+
+	if _, err := s.Submit(JobSpec{Clusters: 4}); err != nil {
+		t.Fatalf("queue-filling submit failed: %v", err)
+	}
+	if _, err := s.Submit(JobSpec{Clusters: 4}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: err = %v, want ErrQueueFull", err)
+	}
+	if ra := s.RetryAfter(); ra < 1 {
+		t.Fatalf("RetryAfter = %d, want >= 1", ra)
+	}
+}
+
+// TestSchedulerCancel covers both cancellation paths: a running job stops
+// via its context; a queued job never executes.
+func TestSchedulerCancel(t *testing.T) {
+	s, release := stubScheduler(t, 2, 1)
+	defer close(release)
+
+	running, err := s.Submit(JobSpec{Clusters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning)
+	queued, err := s.Submit(JobSpec{Clusters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queued.Cancel()
+	running.Cancel()
+	waitState(t, running, StateCancelled)
+	waitState(t, queued, StateCancelled)
+
+	st := s.Stats()
+	if st.Cancelled != 2 {
+		t.Fatalf("cancelled count = %d, want 2", st.Cancelled)
+	}
+}
+
+// TestSchedulerDeadline: a job deadline cancels the run cooperatively.
+func TestSchedulerDeadline(t *testing.T) {
+	s, release := stubScheduler(t, 2, 1)
+	defer close(release)
+	j, err := s.Submit(JobSpec{Clusters: 4, DeadlineMs: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateCancelled)
+}
+
+// TestSchedulerDrain: draining rejects new submissions while in-flight
+// and queued jobs run to completion.
+func TestSchedulerDrain(t *testing.T) {
+	s, release := stubScheduler(t, 4, 1)
+
+	running, err := s.Submit(JobSpec{Clusters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning)
+	queued, err := s.Submit(JobSpec{Clusters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+
+	// Admission must close before the drain completes.
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(JobSpec{Clusters: 4}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: err = %v, want ErrDraining", err)
+	}
+
+	close(release) // let the in-flight and queued jobs finish
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	waitState(t, running, StateDone)
+	waitState(t, queued, StateDone)
+
+	// Drain is idempotent.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestSchedulerRejectsInvalidSpec: validation happens at admission so the
+// queue never holds an unrunnable job.
+func TestSchedulerRejectsInvalidSpec(t *testing.T) {
+	s, release := stubScheduler(t, 2, 1)
+	defer close(release)
+	if _, err := s.Submit(JobSpec{Clusters: 1}); err == nil {
+		t.Fatal("1-cluster spec admitted")
+	}
+	if _, err := s.Submit(JobSpec{Clusters: 4, Protocol: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown protocol admitted")
+	}
+	if _, err := s.Job("j999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("lookup of unknown job did not fail")
+	}
+}

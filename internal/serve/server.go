@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Server is the JSON-over-HTTP surface of the estimation service, built
+// on the stdlib mux. Endpoints:
+//
+//	POST   /v1/jobs      submit a JobSpec → 202 JobStatus
+//	                     (429 + Retry-After on queue overflow,
+//	                      503 while draining)
+//	GET    /v1/jobs      list jobs
+//	GET    /v1/jobs/{id} poll one job (status, progress, result)
+//	DELETE /v1/jobs/{id} cancel (queued or running)
+//	GET    /healthz      liveness + drain state
+//	GET    /stats        scheduler + registry counters
+type Server struct {
+	sched *Scheduler
+	reg   *Registry
+	start time.Time
+}
+
+// NewServer wires the scheduler and registry into an HTTP API.
+func NewServer(sched *Scheduler, reg *Registry) *Server {
+	return &Server{sched: sched, reg: reg, start: time.Now()}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job spec: " + err.Error()})
+		return
+	}
+	j, err := s.sched.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.sched.RetryAfter()))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.sched.Jobs()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, err := s.sched.Job(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFromPath(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFromPath(w, r); ok {
+		j.Cancel()
+		writeJSON(w, http.StatusAccepted, j.Status())
+	}
+}
+
+// HealthBody is the /healthz payload.
+type HealthBody struct {
+	Status string `json:"status"` // ok | draining
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.sched.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, HealthBody{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthBody{Status: "ok"})
+}
+
+// StatsBody is the /stats payload.
+type StatsBody struct {
+	UptimeSec float64        `json:"uptime_sec"`
+	Scheduler SchedulerStats `json:"scheduler"`
+	Registry  RegistryStats  `json:"registry"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, StatsBody{
+		UptimeSec: time.Since(s.start).Seconds(),
+		Scheduler: s.sched.Stats(),
+		Registry:  s.reg.Stats(),
+	})
+}

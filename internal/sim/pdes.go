@@ -137,6 +137,13 @@ type Parallel struct {
 	// synchronization.
 	CausalityClamps uint64
 
+	// Ticker, if set, is called on the coordinating goroutine at every
+	// window barrier with the window horizon and the total events
+	// processed so far. Returning true stops Run at that barrier: LPs
+	// keep their pending events and a later Run resumes from the same
+	// horizon, so an uncancelled run is bitwise-unaffected by the hook.
+	Ticker func(now Time, processed uint64) (stop bool)
+
 	next Time // resume point for successive Run calls
 }
 
@@ -180,17 +187,20 @@ func (p *Parallel) Run(until Time) uint64 {
 		panic("sim: PDES lookahead must be positive")
 	}
 	nw := p.workers()
+	var reached Time
 	if nw <= 1 {
-		p.runSequential(until)
+		reached = p.runSequential(until)
 	} else {
-		p.runParallel(until, nw)
+		reached = p.runParallel(until, nw)
 	}
-	// Final inbox drain so no boundary message is silently lost.
+	// Final inbox drain so no boundary message is silently lost. When the
+	// Ticker stopped the run early, drain only to the reached horizon —
+	// running to `until` here would silently complete a cancelled run.
 	for _, lp := range p.LPs {
 		lp.drainInbox()
-		lp.Sim.RunUntil(until)
+		lp.Sim.RunUntil(reached)
 	}
-	p.next = until
+	p.next = reached
 	var total uint64
 	for _, lp := range p.LPs {
 		total += lp.Sim.Processed()
@@ -198,11 +208,24 @@ func (p *Parallel) Run(until Time) uint64 {
 	return total
 }
 
+// tickBarrier runs the Ticker at a window barrier, summing processed
+// events across LPs (safe: workers are parked between windows).
+func (p *Parallel) tickBarrier(horizon Time) (stop bool) {
+	if p.Ticker == nil {
+		return false
+	}
+	var total uint64
+	for _, lp := range p.LPs {
+		total += lp.Sim.Processed()
+	}
+	return p.Ticker(horizon, total)
+}
+
 // runSequential executes the same window schedule as runParallel on the
 // calling goroutine. Because drains happen at identical boundaries and
 // remote events are ordered by (time, src, seq) either way, it produces
 // bitwise-identical schedules to any worker count.
-func (p *Parallel) runSequential(until Time) {
+func (p *Parallel) runSequential(until Time) Time {
 	for window := p.next; window < until; window += p.Lookahead {
 		limit := window + p.Lookahead
 		if limit > until {
@@ -215,14 +238,19 @@ func (p *Parallel) runSequential(until Time) {
 			lp.Sim.RunUntil(limit)
 		}
 		p.Barriers++
+		if p.tickBarrier(limit) {
+			return limit
+		}
 	}
+	return until
 }
 
-func (p *Parallel) runParallel(until Time, nw int) {
+func (p *Parallel) runParallel(until Time, nw int) Time {
 	ws := &workerState{limit: make(chan Time), done: make(chan struct{})}
 	for w := 0; w < nw; w++ {
 		go ws.work(p.LPs)
 	}
+	reached := until
 	for window := p.next; window < until; window += p.Lookahead {
 		limit := window + p.Lookahead
 		if limit > until {
@@ -242,8 +270,13 @@ func (p *Parallel) runParallel(until Time, nw int) {
 			<-ws.done
 		}
 		p.Barriers++
+		if p.tickBarrier(limit) {
+			reached = limit
+			break
+		}
 	}
 	close(ws.limit)
+	return reached
 }
 
 // workerState is the reusable barrier shared by Run's persistent

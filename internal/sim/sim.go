@@ -94,6 +94,23 @@ type Simulator struct {
 	processed uint64
 	stopped   bool
 	free      *Event // free list of recycled Event records
+
+	tickEvery uint64
+	tick      func(now Time, processed uint64) (stop bool)
+}
+
+// SetTicker installs a hook called every `every` processed events during
+// RunUntil with the current clock and event count. Returning true stops
+// the run after the current event, leaving pending events queued — the
+// mechanism behind cooperative cancellation (cluster.RunContext) and
+// streaming progress. The hook only observes, so installing one never
+// changes results; pass a nil fn (or every == 0) to clear it.
+func (s *Simulator) SetTicker(every uint64, fn func(now Time, processed uint64) bool) {
+	if fn == nil || every == 0 {
+		s.tickEvery, s.tick = 0, nil
+		return
+	}
+	s.tickEvery, s.tick = every, fn
 }
 
 // New returns an empty simulator at time zero.
@@ -199,8 +216,11 @@ func (s *Simulator) RunUntil(limit Time) {
 		fn := top.e.fn
 		s.recycle(top.e)
 		fn()
+		if s.tick != nil && s.processed%s.tickEvery == 0 && s.tick(s.now, s.processed) {
+			s.stopped = true
+		}
 	}
-	if s.now < limit && limit < Time(1<<62) {
+	if !s.stopped && s.now < limit && limit < Time(1<<62) {
 		s.now = limit
 	}
 }
