@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-all bench-json fuzz ci serve-smoke clean
+.PHONY: build test test-race vet bench bench-all bench-json bench-train fuzz ci serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -10,10 +10,11 @@ test:
 
 # Race-detector pass over the packages with concurrency: the PDES
 # kernel and its worker pool, the sharded fabric, the batched inference
-# engine, the cluster composition layer that drives them, and the
-# estimation service (scheduler, registry, HTTP surface).
+# and training engines, the cluster composition layer that drives them,
+# the parallel hyper-parameter search, and the estimation service
+# (scheduler, registry, HTTP surface).
 test-race:
-	$(GO) test -race ./internal/sim ./internal/netsim ./internal/core ./internal/cluster ./internal/ml ./internal/serve
+	$(GO) test -race ./internal/sim ./internal/netsim ./internal/core ./internal/cluster ./internal/ml ./internal/tuning ./internal/serve
 
 # vet also cross-checks that the pure-Go build path compiles, so an
 # accelerator-tagged file can't silently become load-bearing.
@@ -34,6 +35,13 @@ bench:
 bench-json:
 	BENCH_COMPOSE_JSON=BENCH_compose.json $(GO) test -run xxx -bench BenchmarkComposedRun -benchtime 3x .
 
+# Sequential vs minibatch training on one identical dataset; writes
+# machine-readable samples/sec, ns/sample, allocs/sample to
+# BENCH_train.json (the batched trainer must be >= 2x samples/sec at
+# B=16).
+bench-train:
+	BENCH_TRAIN_JSON=BENCH_train.json $(GO) test -run xxx -bench BenchmarkTrain -benchtime 3x .
+
 # Full paper reproduction: every table/figure benchmark (slow).
 bench-all:
 	$(GO) test -bench . -benchmem .
@@ -51,4 +59,4 @@ serve-smoke:
 
 clean:
 	$(GO) clean -testcache
-	rm -f mimicnet.test bench_output.txt BENCH_compose.json BENCH_serve.json
+	rm -f mimicnet.test bench_output.txt BENCH_compose.json BENCH_serve.json BENCH_train.json

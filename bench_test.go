@@ -300,6 +300,117 @@ func BenchmarkMimicInference(b *testing.B) {
 	}
 }
 
+// trainModeStats is one row of BENCH_train.json.
+type trainModeStats struct {
+	Mode          string  `json:"mode"`
+	BatchSize     int     `json:"batch_size"`
+	Runs          int     `json:"runs"`
+	Samples       int     `json:"samples"`
+	SamplesPerSec float64 `json:"samples_per_second"`
+	NsPerSample   float64 `json:"ns_per_sample"`
+	AllocsPerSamp float64 `json:"allocs_per_sample"`
+}
+
+// BenchmarkTrain measures the minibatch trainer (the training-side mirror
+// of BenchmarkMimicInference) against the retained sequential reference
+// on one identical synthetic dataset shaped like real extracted features.
+// One iteration = one full training epoch over the dataset. The batched
+// trainer at B=16 should be at least 2x the sequential samples/sec even
+// on one core: each optimizer step amortizes the clip+Adam full-parameter
+// sweep over B samples, and the GEMM formulation removes the per-step
+// slice allocations of the scalar path.
+//
+// When $BENCH_TRAIN_JSON names a file (see `make bench-train`), the same
+// numbers are written there as JSON for machine comparison.
+func BenchmarkTrain(b *testing.B) {
+	const (
+		features = 23 // feature width of the default topology
+		window   = 8
+		nSamples = 512
+	)
+	rng := stats.NewStream(1)
+	samples := make([]ml.Sample, nSamples)
+	for i := range samples {
+		w := make([][]float64, window)
+		for t := range w {
+			row := make([]float64, features)
+			for j := range row {
+				row[j] = rng.Float64()
+			}
+			w[t] = row
+		}
+		samples[i] = ml.Sample{
+			Window:  w,
+			Latency: rng.Float64(),
+			Dropped: rng.Float64() < 0.1,
+			ECN:     rng.Float64() < 0.2,
+		}
+	}
+
+	var order []string
+	report := map[string]trainModeStats{}
+	for _, m := range []struct {
+		name  string
+		batch int
+	}{
+		{"sequential", 1},
+		{"batched/B=8", 8},
+		{"batched/B=16", 16},
+	} {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			cfg := ml.DefaultModelConfig(features, window)
+			cfg.Epochs = 1
+			cfg.BatchSize = m.batch
+			model, err := ml.NewModel(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				model.Train(samples)
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			total := nSamples * b.N
+			st := trainModeStats{
+				Mode:          m.name,
+				BatchSize:     m.batch,
+				Runs:          b.N,
+				Samples:       nSamples,
+				SamplesPerSec: float64(total) / b.Elapsed().Seconds(),
+				NsPerSample:   float64(b.Elapsed().Nanoseconds()) / float64(total),
+				AllocsPerSamp: float64(ms1.Mallocs-ms0.Mallocs) / float64(total),
+			}
+			b.ReportMetric(st.SamplesPerSec, "samples/sec")
+			b.ReportMetric(st.NsPerSample, "ns/sample")
+			b.ReportMetric(st.AllocsPerSamp, "allocs/sample")
+			if _, seen := report[m.name]; !seen {
+				order = append(order, m.name)
+			}
+			report[m.name] = st
+		})
+	}
+
+	if path := os.Getenv("BENCH_TRAIN_JSON"); path != "" && len(report) > 0 {
+		rows := make([]trainModeStats, 0, len(order))
+		for _, name := range order {
+			rows = append(rows, report[name])
+		}
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", path)
+	}
+}
+
 var (
 	composeBenchOnce sync.Once
 	composeBenchArt  *core.Artifacts

@@ -59,6 +59,7 @@ func main() {
 		hidden    = flag.Int("hidden", 24, "LSTM hidden size")
 		layers    = flag.Int("layers", 1, "stacked LSTM layers")
 		epochs    = flag.Int("epochs", 4, "training epochs")
+		batch     = flag.Int("batch", 0, "training minibatch size (0 = engine default, 1 = sequential)")
 		cellType  = flag.String("cell", "lstm", "trunk model class: lstm|gru|mlp")
 		tune      = flag.Int("tune", 0, "hyper-parameter tuning budget (0 = off)")
 		tuneSizes = flag.String("tune-metric", "fct", "tuning metric: fct|throughput|rtt")
@@ -93,6 +94,7 @@ func main() {
 			Hidden:        *hidden,
 			Layers:        *layers,
 			Epochs:        *epochs,
+			BatchSize:     *batch,
 			Cell:          *cellType,
 			Tune:          *tune,
 			TuneMetric:    *tuneSizes,
@@ -123,8 +125,18 @@ func main() {
 	tcfg.Model.Layers = *layers
 	tcfg.Model.Epochs = *epochs
 	tcfg.Model.CellType = *cellType
+	if *batch != 0 {
+		tcfg.Model.BatchSize = *batch
+	}
 	if *cellType == "mlp" {
 		tcfg.Model.Layers = 1
+	}
+
+	// Live per-epoch reports; the two directions train concurrently, so
+	// lines interleave tagged by direction.
+	trainProgress := func(dir core.Direction, p ml.TrainProgress) {
+		fmt.Printf("  train[%-7s] epoch %d/%d loss=%.4f (%.0f samples/sec, batch %d)\n",
+			dir, p.Epoch, p.Epochs, p.Loss, p.SamplesPerSec, p.BatchSize)
 	}
 
 	var models *core.MimicModels
@@ -151,7 +163,7 @@ func main() {
 		fatal(err)
 		t0 := time.Now()
 		var ingEval, egEval ml.EvalResult
-		models, ingEval, egEval, err = core.TrainModels(ingDS, egDS, tcfg)
+		models, ingEval, egEval, err = core.TrainModelsContext(context.Background(), ingDS, egDS, tcfg, trainProgress)
 		fatal(err)
 		fixedCost = time.Since(t0)
 		fmt.Printf("  model training          %v (%d+%d samples; ingress MAE %.4f, egress MAE %.4f)\n",
@@ -169,6 +181,7 @@ func main() {
 			Base:               base,
 			SmallScaleDuration: sim.Time(*smallRun),
 			Train:              tcfg,
+			TrainProgress:      trainProgress,
 		})
 		fatal(err)
 		models = art.Models
@@ -196,7 +209,7 @@ func main() {
 			fatal(err)
 			fmt.Printf("  best score (mean W1 %s) %.4g with %v\n", *tuneSizes, res.Best.Score, res.Best.Params)
 			best := tuning.ApplyParams(tcfg, res.Best.Params)
-			models, _, _, err = core.TrainModels(ing, eg, best)
+			models, _, _, err = core.TrainModelsContext(context.Background(), ing, eg, best, trainProgress)
 			fatal(err)
 			fixedCost += time.Since(t0)
 			fmt.Printf("  tuning                  %v\n", time.Since(t0).Round(time.Millisecond))
@@ -252,10 +265,20 @@ func runRemote(base string, spec serve.JobSpec) {
 	fmt.Printf("submitted job %s to %s (model key %.12s…)\n", st.ID, base, st.ModelKey)
 
 	lastPhase := ""
+	lastTrain := ""
 	final, err := c.Wait(context.Background(), st.ID, 250*time.Millisecond, func(cur serve.JobStatus) {
 		if cur.Progress.Phase != "" && cur.Progress.Phase != lastPhase {
 			lastPhase = cur.Progress.Phase
 			fmt.Printf("phase: %s\n", lastPhase)
+		}
+		if tp := cur.Progress.Train; tp != nil && cur.Progress.Phase == "train" {
+			// Polling undersamples the epoch stream; print each new report.
+			key := fmt.Sprintf("%s/%d", tp.Direction, tp.Epoch)
+			if key != lastTrain {
+				lastTrain = key
+				fmt.Printf("  train[%-7s] epoch %d/%d loss=%.4f (%.0f samples/sec, batch %d)\n",
+					tp.Direction, tp.Epoch, tp.Epochs, tp.Loss, tp.SamplesPerSec, tp.BatchSize)
+			}
 		}
 		if cur.Progress.Phase == "compose" && cur.Progress.Events > 0 {
 			fmt.Printf("  t=%.3fs events=%d (%.3g events/sec)\r",

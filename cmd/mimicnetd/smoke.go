@@ -93,8 +93,22 @@ func runSmoke(queueDepth, workers int, drainTimeout time.Duration, benchPath str
 	if cold.Result.FCTSeconds.N == 0 {
 		return fmt.Errorf("cold job produced no FCT samples")
 	}
-	log.Printf("smoke: cold job %s done in %v (train %.0fms, compose %.0fms, %d FCT samples)",
-		cold.ID, coldDur.Round(time.Millisecond), cold.Result.TrainMs, cold.Result.ComposeMs, cold.Result.FCTSeconds.N)
+	// The train phase must report real progress (it was a silent gap
+	// before the minibatch trainer); the final-epoch report survives the
+	// phase change, so the terminal status is safe to assert on even
+	// though the job trains in milliseconds.
+	tp := cold.Progress.Train
+	if tp == nil {
+		return fmt.Errorf("cold job reported no training progress")
+	}
+	if tp.Epoch != tp.Epochs || tp.Epochs == 0 || tp.SamplesPerSec <= 0 || tp.BatchSize < 1 ||
+		(tp.Direction != "ingress" && tp.Direction != "egress") {
+		return fmt.Errorf("cold job training progress is malformed: %+v", *tp)
+	}
+	log.Printf("smoke: cold job %s done in %v (train %.0fms, compose %.0fms, %d FCT samples, "+
+		"last train report %s epoch %d/%d @ %.0f samples/sec)",
+		cold.ID, coldDur.Round(time.Millisecond), cold.Result.TrainMs, cold.Result.ComposeMs,
+		cold.Result.FCTSeconds.N, tp.Direction, tp.Epoch, tp.Epochs, tp.SamplesPerSec)
 
 	// 2. Warm job: identical spec must skip training via the registry.
 	warm, warmDur, err := runJob(smokeSpec())
@@ -110,6 +124,9 @@ func runSmoke(queueDepth, workers int, drainTimeout time.Duration, benchPath str
 	if warm.Result.FCTSeconds != cold.Result.FCTSeconds {
 		return fmt.Errorf("warm estimate diverged from cold: %+v vs %+v",
 			warm.Result.FCTSeconds, cold.Result.FCTSeconds)
+	}
+	if warm.Progress.Train != nil {
+		return fmt.Errorf("warm job reported training progress despite the registry hit")
 	}
 	stats, err := c.Stats()
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"mimicnet/internal/cluster"
@@ -20,6 +21,10 @@ type PipelineConfig struct {
 	SmallScaleDuration sim.Time
 	// Train configures datasets and models.
 	Train TrainConfig
+	// TrainProgress, when non-nil, streams per-epoch training progress
+	// for both directions (they train concurrently; the callback must be
+	// concurrency-safe).
+	TrainProgress TrainProgressFunc
 }
 
 // DefaultPipelineConfig returns a scaled-down pipeline around the given
@@ -53,15 +58,22 @@ type Artifacts struct {
 // returned artifacts feed Compose (step ❺); hyper-parameter tuning
 // (step ❹) lives in internal/tuning and calls back into this package.
 func RunPipeline(cfg PipelineConfig) (*Artifacts, error) {
+	return RunPipelineContext(context.Background(), cfg)
+}
+
+// RunPipelineContext is RunPipeline with cooperative cancellation of
+// both the small-scale run and model training (the RunContext pattern;
+// a cancelled pipeline returns ctx's error, never partial artifacts).
+func RunPipelineContext(ctx context.Context, cfg PipelineConfig) (*Artifacts, error) {
 	t0 := time.Now()
-	ing, eg, inst, err := GenerateTrainingData(cfg.Base, cfg.SmallScaleDuration, cfg.Train)
+	ing, eg, inst, err := GenerateTrainingDataContext(ctx, cfg.Base, cfg.SmallScaleDuration, cfg.Train)
 	if err != nil {
 		return nil, err
 	}
 	smallTime := time.Since(t0)
 
 	t1 := time.Now()
-	models, ingEval, egEval, err := TrainModels(ing, eg, cfg.Train)
+	models, ingEval, egEval, err := TrainModelsContext(ctx, ing, eg, cfg.Train, cfg.TrainProgress)
 	if err != nil {
 		return nil, err
 	}

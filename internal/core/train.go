@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mimicnet/internal/cluster"
@@ -31,9 +32,21 @@ func DefaultTrainConfig() TrainConfig {
 	}
 }
 
+// TrainProgressFunc receives live per-epoch training progress, tagged
+// with the direction being trained. Implementations must be safe for
+// concurrent calls: TrainModelsContext trains both directions at once.
+type TrainProgressFunc func(dir Direction, p ml.TrainProgress)
+
 // TrainDirection fits one direction's internal model from its dataset and
 // returns the runtime artifact plus held-out evaluation.
 func TrainDirection(ds *Dataset, cfg TrainConfig) (*DirectionModel, ml.EvalResult, error) {
+	return TrainDirectionContext(context.Background(), ds, cfg, nil)
+}
+
+// TrainDirectionContext is TrainDirection with cancellation and per-epoch
+// progress streaming. On cancellation the partially trained model is
+// discarded and ctx's error returned.
+func TrainDirectionContext(ctx context.Context, ds *Dataset, cfg TrainConfig, progress TrainProgressFunc) (*DirectionModel, ml.EvalResult, error) {
 	if len(ds.Samples) == 0 {
 		return nil, ml.EvalResult{}, fmt.Errorf("core: %v dataset is empty", ds.Dir)
 	}
@@ -45,7 +58,14 @@ func TrainDirection(ds *Dataset, cfg TrainConfig) (*DirectionModel, ml.EvalResul
 		return nil, ml.EvalResult{}, err
 	}
 	train, test := ds.Split(cfg.TrainFrac)
-	model.Train(train)
+	opts := ml.TrainOpts{}
+	if progress != nil {
+		dir := ds.Dir
+		opts.Progress = func(p ml.TrainProgress) { progress(dir, p) }
+	}
+	if _, err := model.TrainContext(ctx, train, opts); err != nil {
+		return nil, ml.EvalResult{}, err
+	}
 	eval := model.Evaluate(test)
 
 	meanGap := stats.Mean(ds.Interarrivals)
@@ -82,10 +102,12 @@ func gapSubsample(gaps []float64, max int) []float64 {
 }
 
 // bankSubsample bounds the feeder replay bank (deterministic stride
-// subsampling keeps temporal coverage).
+// subsampling keeps temporal coverage). Like gapSubsample, it always
+// copies: the result must not alias the caller's dataset bank, which
+// outlives and is shared across concurrently trained models.
 func bankSubsample(bank []PacketInfo, max int) []PacketInfo {
 	if len(bank) <= max {
-		return bank
+		return append([]PacketInfo(nil), bank...)
 	}
 	out := make([]PacketInfo, 0, max)
 	stride := float64(len(bank)) / float64(max)
@@ -99,6 +121,13 @@ func bankSubsample(bank []PacketInfo, max int) []PacketInfo {
 // simulation with boundary taps on the modeled cluster and returns the
 // per-direction datasets (workflow step ❶, paper Figure 3).
 func GenerateTrainingData(base cluster.Config, duration sim.Time, cfg TrainConfig) (ing, eg *Dataset, inst *cluster.Simulation, err error) {
+	return GenerateTrainingDataContext(context.Background(), base, duration, cfg)
+}
+
+// GenerateTrainingDataContext is GenerateTrainingData with cooperative
+// cancellation of the small-scale run; a cancelled run returns ctx's
+// error rather than datasets built from a partial trace.
+func GenerateTrainingDataContext(ctx context.Context, base cluster.Config, duration sim.Time, cfg TrainConfig) (ing, eg *Dataset, inst *cluster.Simulation, err error) {
 	small := base
 	small.Topo = base.Topo.WithClusters(2)
 	small.Observable = 0
@@ -109,7 +138,9 @@ func GenerateTrainingData(base cluster.Config, duration sim.Time, cfg TrainConfi
 	const modeled = 1 // the non-observable cluster is the one we learn
 	tracer := NewTracer(inst.Topo, modeled)
 	tracer.Attach(inst)
-	inst.Run(duration)
+	if cancelled := inst.RunContext(ctx, duration); cancelled {
+		return nil, nil, nil, ctx.Err()
+	}
 
 	spec := NewFeatureSpec(small.Topo)
 	spec.SkipCongestion = cfg.SkipCongestionFeature
@@ -126,13 +157,34 @@ func GenerateTrainingData(base cluster.Config, duration sim.Time, cfg TrainConfi
 // TrainModels fits both directions and assembles the MimicModels
 // artifact (workflow steps ❷–❸).
 func TrainModels(ing, eg *Dataset, cfg TrainConfig) (*MimicModels, ml.EvalResult, ml.EvalResult, error) {
-	ingModel, ingEval, err := TrainDirection(ing, cfg)
-	if err != nil {
-		return nil, ml.EvalResult{}, ml.EvalResult{}, err
+	return TrainModelsContext(context.Background(), ing, eg, cfg, nil)
+}
+
+// TrainModelsContext fits the ingress and egress models concurrently —
+// the two directions share no mutable state (each model has its own
+// parameters; datasets are read-only), so this halves train wall time on
+// multi-core hosts at identical per-direction results. Cancellation via
+// ctx stops both trainings at their next optimizer-step boundary;
+// progress, when non-nil, receives interleaved per-epoch reports tagged
+// by direction.
+func TrainModelsContext(ctx context.Context, ing, eg *Dataset, cfg TrainConfig, progress TrainProgressFunc) (*MimicModels, ml.EvalResult, ml.EvalResult, error) {
+	var (
+		egModel *DirectionModel
+		egEval  ml.EvalResult
+		egErr   error
+		done    = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		egModel, egEval, egErr = TrainDirectionContext(ctx, eg, cfg, progress)
+	}()
+	ingModel, ingEval, ingErr := TrainDirectionContext(ctx, ing, cfg, progress)
+	<-done
+	if ingErr != nil {
+		return nil, ml.EvalResult{}, ml.EvalResult{}, ingErr
 	}
-	egModel, egEval, err := TrainDirection(eg, cfg)
-	if err != nil {
-		return nil, ml.EvalResult{}, ml.EvalResult{}, err
+	if egErr != nil {
+		return nil, ml.EvalResult{}, ml.EvalResult{}, egErr
 	}
 	return &MimicModels{
 		Spec:    ing.Spec,

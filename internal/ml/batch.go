@@ -157,6 +157,135 @@ func (m *Matrix) MulLanes(r0, r1 int, xs []float64, n int, out []float64, outStr
 // tiles are small (8 × Cols) but the GEMM runs on every model step.
 var tileScratch = sync.Pool{New: func() any { return new([]float64) }}
 
+// MulLanesT is the batched counterpart of MulVecT (the backprop of
+// y = Mx into x): for every lane a in [0, n) it overwrites
+//
+//	out[a*Cols + c] = Σ_{r in [r0,r1)} dys[a*dyStride + r] * M[r][c]
+//
+// dys rows are dyStride wide and indexed by absolute row number (the
+// same layout MulLanes writes), so a trainer can feed gate gradients
+// straight back through the weight matrices. Accumulation per output
+// element is in strictly ascending r order and each lane is produced by
+// exactly one tile, so results are bitwise independent of worker count.
+func (m *Matrix) MulLanesT(r0, r1 int, dys []float64, dyStride, n int, out []float64, pool *Pool) {
+	if r0 < 0 || r1 > m.Rows || r0 > r1 {
+		panic(fmt.Sprintf("ml: MulLanesT rows [%d,%d) outside matrix with %d rows", r0, r1, m.Rows))
+	}
+	if dyStride < r1 {
+		panic(fmt.Sprintf("ml: MulLanesT dyStride %d < r1 %d", dyStride, r1))
+	}
+	if n < 0 || len(dys) < n*dyStride {
+		panic(fmt.Sprintf("ml: MulLanesT dys len %d < %d lanes × stride %d", len(dys), n, dyStride))
+	}
+	K := m.Cols
+	if len(out) < n*K {
+		panic(fmt.Sprintf("ml: MulLanesT out len %d < %d lanes × %d cols", len(out), n, K))
+	}
+	if n == 0 {
+		return
+	}
+	kernel := func(alo, ahi int) {
+		for a := alo; a < ahi; a++ {
+			o := out[a*K : (a+1)*K]
+			for c := range o {
+				o[c] = 0
+			}
+			for r := r0; r < r1; r++ {
+				d := dys[a*dyStride+r]
+				if d == 0 {
+					continue
+				}
+				row := m.Data[r*K : (r+1)*K][:len(o)]
+				for c, v := range row {
+					o[c] += v * d
+				}
+			}
+		}
+	}
+	if pool.Workers() <= 1 || (r1-r0)*n*K < gemmSerialFLOPs {
+		kernel(0, n)
+		return
+	}
+	aTiles := (n + gemmLaneBlock - 1) / gemmLaneBlock
+	pool.For(aTiles, func(t int) {
+		alo := t * gemmLaneBlock
+		ahi := alo + gemmLaneBlock
+		if ahi > n {
+			ahi = n
+		}
+		kernel(alo, ahi)
+	})
+}
+
+// AddGradLanes is the batched counterpart of AddOuterGrad (the weight
+// gradient of y = Mx over a minibatch): for r in [r0,r1) it accumulates
+//
+//	Grad[r][c] += Σ_{a in [0,n)} dys[a*dyStride + r] * xs[a*Cols + c]
+//
+// The lane sum runs in strictly ascending a order for every element —
+// the fixed reduction order that makes minibatch gradients bitwise
+// reproducible run to run — and each gradient row is owned by exactly
+// one tile, so results are also independent of worker count.
+func (m *Matrix) AddGradLanes(r0, r1 int, dys []float64, dyStride, n int, xs []float64, pool *Pool) {
+	if r0 < 0 || r1 > m.Rows || r0 > r1 {
+		panic(fmt.Sprintf("ml: AddGradLanes rows [%d,%d) outside matrix with %d rows", r0, r1, m.Rows))
+	}
+	if dyStride < r1 {
+		panic(fmt.Sprintf("ml: AddGradLanes dyStride %d < r1 %d", dyStride, r1))
+	}
+	if n < 0 || len(dys) < n*dyStride {
+		panic(fmt.Sprintf("ml: AddGradLanes dys len %d < %d lanes × stride %d", len(dys), n, dyStride))
+	}
+	K := m.Cols
+	if len(xs) < n*K {
+		panic(fmt.Sprintf("ml: AddGradLanes xs len %d < %d lanes × %d cols", len(xs), n, K))
+	}
+	if n == 0 {
+		return
+	}
+	kernel := func(rlo, rhi int) {
+		for r := rlo; r < rhi; r++ {
+			g := m.Grad[r*K : (r+1)*K]
+			for a := 0; a < n; a++ {
+				d := dys[a*dyStride+r]
+				if d == 0 {
+					continue
+				}
+				x := xs[a*K : (a+1)*K][:len(g)]
+				for c, v := range x {
+					g[c] += d * v
+				}
+			}
+		}
+	}
+	rows := r1 - r0
+	if pool.Workers() <= 1 || rows*n*K < gemmSerialFLOPs {
+		kernel(r0, r1)
+		return
+	}
+	rTiles := (rows + gemmRowBlock - 1) / gemmRowBlock
+	pool.For(rTiles, func(t int) {
+		rlo := r0 + t*gemmRowBlock
+		rhi := rlo + gemmRowBlock
+		if rhi > r1 {
+			rhi = r1
+		}
+		kernel(rlo, rhi)
+	})
+}
+
+// addBiasGradLanes accumulates Grad[r] += Σ_a dys[a*dyStride + r] for
+// r in [r0,r1), in ascending-lane order per element (lanes outer for
+// locality; the per-element order is still ascending a).
+func addBiasGradLanes(b *Matrix, r0, r1 int, dys []float64, dyStride, n int) {
+	for a := 0; a < n; a++ {
+		row := dys[a*dyStride:]
+		for r := r0; r < r1; r++ {
+			b.Grad[r] += row[r]
+		}
+	}
+}
+
 // mulLanesSparse is MulLanes for lanes whose inputs are mostly zero: it
 // packs each lane's nonzero (index, value) pairs once, then reuses the
 // packed stream across four weight rows at a time — four independent

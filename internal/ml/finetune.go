@@ -1,6 +1,10 @@
 package ml
 
-import "mimicnet/internal/stats"
+import (
+	"context"
+
+	"mimicnet/internal/stats"
+)
 
 // FineTune continues training an already-fitted model on new samples —
 // the incremental model update MimicNet's future work calls for (paper
@@ -9,33 +13,19 @@ import "mimicnet/internal/stats"
 // learning rate; existing weights are the starting point, so far fewer
 // epochs are needed than training from scratch.
 func (m *Model) FineTune(samples []Sample, epochs int, lr float64) TrainResult {
+	res, _ := m.FineTuneContext(context.Background(), samples, epochs, lr, TrainOpts{})
+	return res
+}
+
+// FineTuneContext is FineTune with cancellation and progress reporting,
+// sharing the batch-size-selected trainer with TrainContext.
+func (m *Model) FineTuneContext(ctx context.Context, samples []Sample, epochs int, lr float64, opts TrainOpts) (TrainResult, error) {
 	if epochs < 1 {
 		epochs = 1
 	}
 	if lr <= 0 {
 		lr = m.Cfg.LR / 3
 	}
-	opt := NewAdam(lr)
 	rng := stats.NewStream(m.Cfg.Seed + 7)
-	params := m.Params()
-	res := TrainResult{Samples: len(samples)}
-	idx := make([]int, len(samples))
-	for i := range idx {
-		idx[i] = i
-	}
-	for epoch := 0; epoch < epochs; epoch++ {
-		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-		var sum float64
-		for _, i := range idx {
-			sum += m.trainStep(samples[i])
-			if m.Cfg.ClipNorm > 0 {
-				ClipGrads(params, m.Cfg.ClipNorm)
-			}
-			opt.Step(params)
-		}
-		if len(samples) > 0 {
-			res.EpochLoss = append(res.EpochLoss, sum/float64(len(samples)))
-		}
-	}
-	return res
+	return m.fit(ctx, lr, rng, samples, epochs, opts)
 }

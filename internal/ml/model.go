@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -32,6 +33,14 @@ type ModelConfig struct {
 	ClipNorm float64 `json:"clip_norm"`
 	Seed     int64   `json:"seed"`
 
+	// BatchSize selects the trainer: 1 runs the original per-sample
+	// scalar BPTT loop (one optimizer step per sample — the parity
+	// reference), values > 1 run the minibatch trainer (one optimizer
+	// step per batch over fused GEMM passes), and 0 means
+	// DefaultBatchSize. Affects training results, so it participates in
+	// the model cache key.
+	BatchSize int `json:"batch_size,omitempty"`
+
 	// CellType selects the trunk class: "lstm" (default), "gru", or
 	// "mlp" (non-recurrent windowed baseline).
 	CellType string `json:"cell_type,omitempty"`
@@ -45,6 +54,11 @@ func DefaultModelConfig(features, window int) ModelConfig {
 		HuberDelta: 1.0, LatLoss: LossHuber, DropWeight: 0.7,
 		LatWeight: 2.0, DropLossW: 1.0, ECNLossW: 0.5,
 		LR: 3e-3, Epochs: 4, ClipNorm: 5.0, Seed: 1,
+		// Explicit (not 0) so the trainer choice is visible in the
+		// serialized config and in model cache keys: models trained by
+		// the minibatch path must not collide with sequentially trained
+		// ones.
+		BatchSize: DefaultBatchSize,
 	}
 }
 
@@ -63,6 +77,8 @@ func (c ModelConfig) Validate() error {
 		return fmt.Errorf("ml: learning rate must be positive")
 	case c.Epochs < 1:
 		return fmt.Errorf("ml: epochs must be >= 1")
+	case c.BatchSize < 0:
+		return fmt.Errorf("ml: batch size must be >= 0 (0 selects the default)")
 	}
 	switch c.CellType {
 	case "", "lstm", "gru":
@@ -203,31 +219,22 @@ type TrainResult struct {
 	Samples   int
 }
 
-// Train fits the model to samples with Adam, shuffling each epoch.
+// Train fits the model to samples with Adam, shuffling each epoch. It is
+// TrainContext without cancellation or progress reporting; the trainer
+// (scalar vs minibatch) is selected by Cfg.BatchSize.
 func (m *Model) Train(samples []Sample) TrainResult {
-	opt := NewAdam(m.Cfg.LR)
-	rng := stats.NewStream(m.Cfg.Seed + 1)
-	params := m.Params()
-	res := TrainResult{Samples: len(samples)}
-	idx := make([]int, len(samples))
-	for i := range idx {
-		idx[i] = i
-	}
-	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
-		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-		var sum float64
-		for _, i := range idx {
-			sum += m.trainStep(samples[i])
-			if m.Cfg.ClipNorm > 0 {
-				ClipGrads(params, m.Cfg.ClipNorm)
-			}
-			opt.Step(params)
-		}
-		if len(samples) > 0 {
-			res.EpochLoss = append(res.EpochLoss, sum/float64(len(samples)))
-		}
-	}
+	res, _ := m.TrainContext(context.Background(), samples, TrainOpts{})
 	return res
+}
+
+// TrainContext fits the model to samples with Adam, shuffling each
+// epoch. Cancellation is honored between optimizer steps (parameters are
+// never left mid-update; pending gradients are dropped), in which case
+// the partial result and ctx's error are returned. opts.Progress, when
+// non-nil, receives one report per finished epoch.
+func (m *Model) TrainContext(ctx context.Context, samples []Sample, opts TrainOpts) (TrainResult, error) {
+	rng := stats.NewStream(m.Cfg.Seed + 1)
+	return m.fit(ctx, m.Cfg.LR, rng, samples, m.Cfg.Epochs, opts)
 }
 
 // EvalResult aggregates test-set quality per task.

@@ -1,0 +1,652 @@
+package ml
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"mimicnet/internal/stats"
+)
+
+// This file implements the training half of the batched engine: minibatch
+// BPTT for the trunk cells and heads, expressed as the same cache-blocked
+// pool-parallel GEMMs the inference path uses (MulLanes for forward,
+// MulLanesT / AddGradLanes for backward). One optimizer step is applied
+// per batch to the mean-loss gradient; Adam and gradient clipping keep
+// their exact per-update semantics.
+//
+// Determinism contract: the minibatch trainer is NOT required to be
+// bitwise equal to the scalar per-sample path (it takes B× fewer
+// optimizer steps on averaged gradients — a different, healthier descent
+// trajectory), but for a fixed seed and batch size it IS bitwise
+// reproducible run to run and across worker counts: every gradient
+// element is reduced over lanes in a fixed ascending order by exactly
+// one pool task (see AddGradLanes), and sample order is the same
+// seed-derived shuffle the scalar path uses.
+
+// DefaultBatchSize is the minibatch width used when ModelConfig.BatchSize
+// is zero.
+const DefaultBatchSize = 16
+
+// batchSize resolves the effective minibatch width.
+func (c ModelConfig) batchSize() int {
+	if c.BatchSize == 0 {
+		return DefaultBatchSize
+	}
+	return c.BatchSize
+}
+
+// TrainProgress is a live report emitted after each finished epoch.
+type TrainProgress struct {
+	Epoch         int     `json:"epoch"` // 1-based, just finished
+	Epochs        int     `json:"epochs"`
+	Loss          float64 `json:"loss"` // mean per-sample loss of the epoch
+	Samples       int     `json:"samples"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	BatchSize     int     `json:"batch_size"`
+}
+
+// TrainOpts bundles optional training controls for TrainContext.
+type TrainOpts struct {
+	// Progress, when non-nil, receives one report per finished epoch.
+	Progress func(TrainProgress)
+	// Pool supplies the GEMM worker pool; nil means SharedPool().
+	Pool *Pool
+}
+
+// fit is the shared training loop behind Train/TrainContext/FineTune:
+// shuffle each epoch with rng, run forward+backward per batch, clip, and
+// apply one optimizer step per batch. BatchSize 1 reproduces the original
+// scalar loop bit for bit (same shuffle stream, one step per sample).
+func (m *Model) fit(ctx context.Context, lr float64, rng *stats.Stream, samples []Sample, epochs int, opts TrainOpts) (TrainResult, error) {
+	params := m.Params()
+	res := TrainResult{Samples: len(samples)}
+	B := m.Cfg.batchSize()
+	var bt *miniBatchTrainer
+	if B > 1 && uniformSteps(samples) > 0 {
+		pool := opts.Pool
+		if pool == nil {
+			pool = SharedPool()
+		}
+		bt = newMiniBatchTrainer(m, pool)
+	} else {
+		// Ragged or empty windows (never produced by the dataset
+		// builder, but legal inputs): the scalar path handles them.
+		B = 1
+	}
+	// A batch update sees the mean gradient over B samples — lower
+	// variance and B× fewer steps per epoch than the scalar path. Scale
+	// the Adam step size by √B (the usual Adam batch scaling) so
+	// per-epoch convergence tracks the scalar trainer; Adam's update
+	// rule itself is untouched.
+	if B > 1 {
+		lr *= math.Sqrt(float64(B))
+	}
+	opt := NewAdam(lr)
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < epochs; epoch++ {
+		start := time.Now()
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var sum float64
+		for lo := 0; lo < len(idx); lo += B {
+			if err := ctx.Err(); err != nil {
+				// Stop only at optimizer-step boundaries: parameters
+				// hold the last fully applied update. Drop the pending
+				// gradients so a later fit on this model starts clean.
+				for _, p := range params {
+					p.ZeroGrad()
+				}
+				return res, err
+			}
+			if bt != nil {
+				hi := min(lo+B, len(idx))
+				sum += bt.trainBatch(samples, idx[lo:hi])
+			} else {
+				sum += m.trainStep(samples[idx[lo]])
+			}
+			if m.Cfg.ClipNorm > 0 {
+				ClipGrads(params, m.Cfg.ClipNorm)
+			}
+			opt.Step(params)
+		}
+		if len(samples) > 0 {
+			loss := sum / float64(len(samples))
+			res.EpochLoss = append(res.EpochLoss, loss)
+			if opts.Progress != nil {
+				sps := 0.0
+				if d := time.Since(start).Seconds(); d > 0 {
+					sps = float64(len(samples)) / d
+				}
+				opts.Progress(TrainProgress{
+					Epoch: epoch + 1, Epochs: epochs, Loss: loss,
+					Samples: len(samples), SamplesPerSec: sps, BatchSize: B,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// uniformSteps returns the window length shared by all samples, or 0
+// when samples are empty, ragged, or have empty windows.
+func uniformSteps(samples []Sample) int {
+	if len(samples) == 0 {
+		return 0
+	}
+	steps := len(samples[0].Window)
+	for _, s := range samples {
+		if len(s.Window) != steps {
+			return 0
+		}
+	}
+	return steps
+}
+
+// trainLayer is one trunk layer able to run fused minibatch training
+// steps over n lanes (one lane = one sample of the batch).
+type trainLayer interface {
+	// begin resets recurrent state and sizes step caches for n lanes ×
+	// steps. Buffers are reused across batches.
+	begin(n, steps int)
+	// forward advances step st: reads xs (n×In), writes hs (n×Hidden),
+	// recording the activations backward needs.
+	forward(st, n int, xs, hs []float64)
+	// backward consumes dhIn — the gradient arriving at this step's
+	// hidden output from the heads or the layer above (nil means zero) —
+	// accumulates parameter gradients with the fixed ascending-lane
+	// reduction, carries the recurrent gradient to step st-1 internally,
+	// and writes the input gradient into dx (n×In) unless dx is nil.
+	backward(st, n int, dhIn, dx []float64)
+}
+
+// newTrainLayer picks the fused trainer for a cell, falling back to the
+// scalar per-lane path for cell types without one.
+func newTrainLayer(c Cell, pool *Pool) trainLayer {
+	switch l := c.(type) {
+	case *LSTM:
+		return &lstmTrainLayer{l: l, pool: pool}
+	case *GRU:
+		return &gruTrainLayer{g: l, pool: pool}
+	case *WindowMLP:
+		return &mlpTrainLayer{m: l, pool: pool}
+	}
+	return &genericTrainLayer{c: c}
+}
+
+// miniBatchTrainer runs fused forward+backward passes for whole
+// minibatches, accumulating the mean-loss gradient into the model's
+// parameter Grad buffers (the caller clips and applies the optimizer).
+type miniBatchTrainer struct {
+	m      *Model
+	pool   *Pool
+	layers []trainLayer
+
+	bufA, bufB        []float64   // dense activations, n × max width
+	dxBufs            [][]float64 // per layer ≥ 1, n × InSize
+	dOut              []float64   // n×H gradient at the trunk output
+	dLat, dDrop, dECN []float64   // per-lane head logit gradients
+}
+
+func newMiniBatchTrainer(m *Model, pool *Pool) *miniBatchTrainer {
+	t := &miniBatchTrainer{m: m, pool: pool, dxBufs: make([][]float64, len(m.Trunk))}
+	for _, c := range m.Trunk {
+		t.layers = append(t.layers, newTrainLayer(c, pool))
+	}
+	return t
+}
+
+// trainBatch runs one fused forward+backward over the samples selected
+// by idx, accumulates parameter gradients for the mean loss of the
+// batch, and returns the summed (unscaled) per-sample loss.
+func (t *miniBatchTrainer) trainBatch(samples []Sample, idx []int) float64 {
+	n := len(idx)
+	steps := len(samples[idx[0]].Window)
+	cfg := &t.m.Cfg
+	width := cfg.Features
+	H := cfg.Hidden
+	maxW := max(width, H)
+	t.bufA = growFloats(t.bufA, n*maxW)
+	t.bufB = growFloats(t.bufB, n*maxW)
+	for li, tl := range t.layers {
+		tl.begin(n, steps)
+		if li > 0 {
+			t.dxBufs[li] = growFloats(t.dxBufs[li], n*t.m.Trunk[li].InSize())
+		}
+	}
+
+	// Forward: lockstep over steps, bottom to top. Each layer caches its
+	// own inputs, so the double buffers can be reused immediately.
+	var out []float64
+	for st := 0; st < steps; st++ {
+		cur, next := t.bufA, t.bufB
+		for a, i := range idx {
+			copy(cur[a*width:(a+1)*width], samples[i].Window[st])
+		}
+		for _, tl := range t.layers {
+			tl.forward(st, n, cur, next)
+			cur, next = next, cur
+		}
+		out = cur
+	}
+
+	// Heads and losses, per lane in ascending order (serial: the loss
+	// sum and bias gradients are scalar reductions over lanes).
+	t.dLat = growFloats(t.dLat, n)
+	t.dDrop = growFloats(t.dDrop, n)
+	t.dECN = growFloats(t.dECN, n)
+	t.dOut = growFloats(t.dOut, n*H)
+	invB := 1 / float64(n)
+	var sum float64
+	for a, i := range idx {
+		s := samples[i]
+		pred := t.m.headsRow(out[a*H : (a+1)*H])
+		latTarget := s.Latency
+		dropTarget, ecnTarget := 0.0, 0.0
+		if s.Dropped {
+			dropTarget = 1
+		}
+		if s.ECN {
+			ecnTarget = 1
+		}
+		latLoss, dLat := cfg.LatLoss.Eval(pred.Latency, latTarget, cfg.HuberDelta)
+		var dropLoss, dDrop float64
+		if cfg.DropWeight > 0 {
+			dropLoss, dDrop = WBCE(pred.PDrop, dropTarget, cfg.DropWeight)
+		} else {
+			dropLoss, dDrop = BCE(pred.PDrop, dropTarget)
+		}
+		ecnLoss, dECN := BCE(pred.PECN, ecnTarget)
+		sum += cfg.LatWeight*latLoss + cfg.DropLossW*dropLoss + cfg.ECNLossW*ecnLoss
+		// Mean-loss gradient: scaling the logit gradients by 1/n scales
+		// every downstream parameter gradient linearly.
+		t.dLat[a] = invB * cfg.LatWeight * dLat * DSigmoid(pred.Latency)
+		t.dDrop[a] = invB * cfg.DropLossW * dDrop * DSigmoid(pred.PDrop)
+		t.dECN[a] = invB * cfg.ECNLossW * dECN * DSigmoid(pred.PECN)
+	}
+	hFin := out[:n*H]
+	t.m.LatHead.W.AddGradLanes(0, 1, t.dLat, 1, n, hFin, t.pool)
+	t.m.DropHead.W.AddGradLanes(0, 1, t.dDrop, 1, n, hFin, t.pool)
+	t.m.ECNHead.W.AddGradLanes(0, 1, t.dECN, 1, n, hFin, t.pool)
+	addBiasGradLanes(t.m.LatHead.B, 0, 1, t.dLat, 1, n)
+	addBiasGradLanes(t.m.DropHead.B, 0, 1, t.dDrop, 1, n)
+	addBiasGradLanes(t.m.ECNHead.B, 0, 1, t.dECN, 1, n)
+
+	// dOut = Σ_heads Wᵀ·dLogit, per lane.
+	latW := t.m.LatHead.W.Data
+	dropW := t.m.DropHead.W.Data
+	ecnW := t.m.ECNHead.W.Data
+	dOut := t.dOut[:n*H]
+	t.pool.For(n, func(a int) {
+		row := dOut[a*H : (a+1)*H]
+		dl, dd, de := t.dLat[a], t.dDrop[a], t.dECN[a]
+		for c := 0; c < H; c++ {
+			row[c] = latW[c]*dl + dropW[c]*dd + ecnW[c]*de
+		}
+	})
+
+	// Backward: steps descending, layers top to bottom — the batched
+	// mirror of Trace.Backward. dOut enters the top layer at the final
+	// step only; each layer's dx feeds the layer below's dhIn.
+	for st := steps - 1; st >= 0; st-- {
+		var dhIn []float64
+		if st == steps-1 {
+			dhIn = dOut
+		}
+		for li := len(t.layers) - 1; li >= 0; li-- {
+			var dx []float64
+			if li > 0 {
+				dx = t.dxBufs[li]
+			}
+			t.layers[li].backward(st, n, dhIn, dx)
+			dhIn = dx
+		}
+	}
+	return sum
+}
+
+// lstmTrainLayer runs fused minibatch BPTT for one LSTM layer: the same
+// two MulLanes GEMMs per step as the inference StepBatch, plus
+// GEMM-shaped backward passes (MulLanesT for the input and recurrent
+// gradients, AddGradLanes for the weights).
+type lstmTrainLayer struct {
+	l    *LSTM
+	pool *Pool
+
+	n, steps int
+	h, c     []float64 // running state, n×H
+	dh, dc   []float64 // recurrent gradient carry, n×H
+	zx, zh   []float64 // forward step scratch, n×4H
+	dz       []float64 // gate pre-activation gradients, n×4H
+
+	// per-step caches, laid out steps × n × width
+	cx                  []float64 // inputs, steps×n×In
+	chPrev, ccPrev      []float64 // steps×n×H
+	ci, cf, cg, co, ctc []float64 // gate activations and tanh(c), steps×n×H
+}
+
+func (t *lstmTrainLayer) begin(n, steps int) {
+	H, In := t.l.Hidden, t.l.In
+	t.n, t.steps = n, steps
+	t.h = growFloats(t.h, n*H)
+	t.c = growFloats(t.c, n*H)
+	t.dh = growFloats(t.dh, n*H)
+	t.dc = growFloats(t.dc, n*H)
+	t.zx = growFloats(t.zx, n*4*H)
+	t.zh = growFloats(t.zh, n*4*H)
+	t.dz = growFloats(t.dz, n*4*H)
+	t.cx = growFloats(t.cx, steps*n*In)
+	t.chPrev = growFloats(t.chPrev, steps*n*H)
+	t.ccPrev = growFloats(t.ccPrev, steps*n*H)
+	t.ci = growFloats(t.ci, steps*n*H)
+	t.cf = growFloats(t.cf, steps*n*H)
+	t.cg = growFloats(t.cg, steps*n*H)
+	t.co = growFloats(t.co, steps*n*H)
+	t.ctc = growFloats(t.ctc, steps*n*H)
+	zeroRange(t.h[:n*H])
+	zeroRange(t.c[:n*H])
+	zeroRange(t.dh[:n*H])
+	zeroRange(t.dc[:n*H])
+}
+
+func (t *lstmTrainLayer) forward(st, n int, xs, hs []float64) {
+	l := t.l
+	H, In := l.Hidden, l.In
+	copy(t.cx[st*n*In:(st+1)*n*In], xs[:n*In])
+	base := st * n * H
+	copy(t.chPrev[base:base+n*H], t.h[:n*H])
+	copy(t.ccPrev[base:base+n*H], t.c[:n*H])
+	l.Wx.MulLanes(0, 4*H, xs, n, t.zx, 4*H, t.pool)
+	l.Wh.MulLanes(0, 4*H, t.h, n, t.zh, 4*H, t.pool)
+	bias := l.B.Data
+	t.pool.For(n, func(a int) {
+		zx := t.zx[a*4*H : (a+1)*4*H]
+		zh := t.zh[a*4*H : (a+1)*4*H]
+		for j := 0; j < H; j++ {
+			// Same association as Step: z[i] += zh[i] + B[i].
+			i_ := Sigmoid(zx[j] + (zh[j] + bias[j]))
+			f_ := Sigmoid(zx[H+j] + (zh[H+j] + bias[H+j]))
+			g_ := math.Tanh(zx[2*H+j] + (zh[2*H+j] + bias[2*H+j]))
+			o_ := Sigmoid(zx[3*H+j] + (zh[3*H+j] + bias[3*H+j]))
+			cNew := f_*t.c[a*H+j] + i_*g_
+			tc := math.Tanh(cNew)
+			k := base + a*H + j
+			t.ci[k], t.cf[k], t.cg[k], t.co[k], t.ctc[k] = i_, f_, g_, o_, tc
+			t.c[a*H+j] = cNew
+			hs[a*H+j] = o_ * tc
+		}
+	})
+	copy(t.h[:n*H], hs[:n*H])
+}
+
+func (t *lstmTrainLayer) backward(st, n int, dhIn, dx []float64) {
+	l := t.l
+	H, In := l.Hidden, l.In
+	base := st * n * H
+	t.pool.For(n, func(a int) {
+		for j := 0; j < H; j++ {
+			k := base + a*H + j
+			dhv := t.dh[a*H+j]
+			if dhIn != nil {
+				dhv += dhIn[a*H+j]
+			}
+			// Mirrors stepBackward: h = o·tanh(c), c = f·cPrev + i·g.
+			i_, f_, g_, o_, tc := t.ci[k], t.cf[k], t.cg[k], t.co[k], t.ctc[k]
+			do := dhv * tc
+			dcTotal := t.dc[a*H+j] + dhv*o_*DTanh(tc)
+			di := dcTotal * g_
+			df := dcTotal * t.ccPrev[k]
+			dg := dcTotal * i_
+			t.dz[a*4*H+j] = di * DSigmoid(i_)
+			t.dz[a*4*H+H+j] = df * DSigmoid(f_)
+			t.dz[a*4*H+2*H+j] = dg * DTanh(g_)
+			t.dz[a*4*H+3*H+j] = do * DSigmoid(o_)
+			t.dc[a*H+j] = dcTotal * f_
+		}
+	})
+	l.Wx.AddGradLanes(0, 4*H, t.dz, 4*H, n, t.cx[st*n*In:(st+1)*n*In], t.pool)
+	l.Wh.AddGradLanes(0, 4*H, t.dz, 4*H, n, t.chPrev[base:base+n*H], t.pool)
+	addBiasGradLanes(l.B, 0, 4*H, t.dz, 4*H, n)
+	if dx != nil {
+		l.Wx.MulLanesT(0, 4*H, t.dz, 4*H, n, dx, t.pool)
+	}
+	// dh was consumed above; overwrite it with the carry for step st-1.
+	l.Wh.MulLanesT(0, 4*H, t.dz, 4*H, n, t.dh, t.pool)
+}
+
+// gruTrainLayer runs fused minibatch BPTT for one GRU layer. The
+// candidate pre-activation consumes r⊙h, so each step needs a third
+// GEMM after the gate pass (exactly like the inference StepBatch).
+type gruTrainLayer struct {
+	g    *GRU
+	pool *Pool
+
+	n, steps int
+	h        []float64 // running state, n×H
+	dh       []float64 // recurrent gradient carry, n×H
+	ax, ac   []float64 // pre-activation scratch, n×3H
+	da       []float64 // pre-activation gradients, n×3H
+	drh      []float64 // gradient at r⊙h, n×H
+	dhAcc    []float64 // dhPrev accumulator, n×H
+	scr      []float64 // MulLanesT scratch, n×H
+
+	cx                       []float64 // steps×n×In
+	chPrev, cz, cr, chh, crh []float64 // steps×n×H
+}
+
+func (t *gruTrainLayer) begin(n, steps int) {
+	H, In := t.g.Hidden, t.g.In
+	t.n, t.steps = n, steps
+	t.h = growFloats(t.h, n*H)
+	t.dh = growFloats(t.dh, n*H)
+	t.ax = growFloats(t.ax, n*3*H)
+	t.ac = growFloats(t.ac, n*3*H)
+	t.da = growFloats(t.da, n*3*H)
+	t.drh = growFloats(t.drh, n*H)
+	t.dhAcc = growFloats(t.dhAcc, n*H)
+	t.scr = growFloats(t.scr, n*H)
+	t.cx = growFloats(t.cx, steps*n*In)
+	t.chPrev = growFloats(t.chPrev, steps*n*H)
+	t.cz = growFloats(t.cz, steps*n*H)
+	t.cr = growFloats(t.cr, steps*n*H)
+	t.chh = growFloats(t.chh, steps*n*H)
+	t.crh = growFloats(t.crh, steps*n*H)
+	zeroRange(t.h[:n*H])
+	zeroRange(t.dh[:n*H])
+}
+
+func (t *gruTrainLayer) forward(st, n int, xs, hs []float64) {
+	g := t.g
+	H, In := g.Hidden, g.In
+	copy(t.cx[st*n*In:(st+1)*n*In], xs[:n*In])
+	base := st * n * H
+	copy(t.chPrev[base:base+n*H], t.h[:n*H])
+	g.Wx.MulLanes(0, 3*H, xs, n, t.ax, 3*H, t.pool)
+	g.Wh.MulLanes(0, 2*H, t.h, n, t.ac, 3*H, t.pool)
+	bias := g.B.Data
+	t.pool.For(n, func(a int) {
+		ax := t.ax[a*3*H : (a+1)*3*H]
+		ac := t.ac[a*3*H : (a+1)*3*H]
+		for j := 0; j < H; j++ {
+			z := Sigmoid(ax[j] + ac[j] + bias[j])
+			r := Sigmoid(ax[H+j] + ac[H+j] + bias[H+j])
+			k := base + a*H + j
+			t.cz[k], t.cr[k] = z, r
+			t.crh[k] = r * t.h[a*H+j]
+		}
+	})
+	// Candidate recurrent pre-activation over r⊙h (must follow r).
+	g.Wh.MulLanes(2*H, 3*H, t.crh[base:base+n*H], n, t.ac, 3*H, t.pool)
+	t.pool.For(n, func(a int) {
+		ax := t.ax[a*3*H : (a+1)*3*H]
+		ac := t.ac[a*3*H : (a+1)*3*H]
+		for j := 0; j < H; j++ {
+			k := base + a*H + j
+			hHat := math.Tanh(ax[2*H+j] + ac[2*H+j] + bias[2*H+j])
+			t.chh[k] = hHat
+			hs[a*H+j] = (1-t.cz[k])*t.h[a*H+j] + t.cz[k]*hHat
+		}
+	})
+	copy(t.h[:n*H], hs[:n*H])
+}
+
+func (t *gruTrainLayer) backward(st, n int, dhIn, dx []float64) {
+	g := t.g
+	H, In := g.Hidden, g.In
+	base := st * n * H
+	t.pool.For(n, func(a int) {
+		for j := 0; j < H; j++ {
+			k := base + a*H + j
+			dhv := t.dh[a*H+j]
+			if dhIn != nil {
+				dhv += dhIn[a*H+j]
+			}
+			// h' = (1-z)·h + z·ĥ (mirrors GRU.StepBackward).
+			z, hHat, hPrev := t.cz[k], t.chh[k], t.chPrev[k]
+			dz := dhv * (hHat - hPrev)
+			t.da[a*3*H+j] = dz * DSigmoid(z)
+			t.da[a*3*H+2*H+j] = dhv * z * DTanh(hHat)
+			t.dhAcc[a*H+j] = dhv * (1 - z)
+		}
+	})
+	// Gradient at r⊙h through the candidate rows of Wh.
+	g.Wh.MulLanesT(2*H, 3*H, t.da, 3*H, n, t.drh, t.pool)
+	t.pool.For(n, func(a int) {
+		for j := 0; j < H; j++ {
+			k := base + a*H + j
+			dr := t.drh[a*H+j] * t.chPrev[k]
+			t.da[a*3*H+H+j] = dr * DSigmoid(t.cr[k])
+			t.dhAcc[a*H+j] += t.drh[a*H+j] * t.cr[k]
+		}
+	})
+	g.Wx.AddGradLanes(0, 3*H, t.da, 3*H, n, t.cx[st*n*In:(st+1)*n*In], t.pool)
+	// Wh rows for z and r consume hPrev; candidate rows consume r⊙h.
+	g.Wh.AddGradLanes(0, 2*H, t.da, 3*H, n, t.chPrev[base:base+n*H], t.pool)
+	g.Wh.AddGradLanes(2*H, 3*H, t.da, 3*H, n, t.crh[base:base+n*H], t.pool)
+	addBiasGradLanes(g.B, 0, 3*H, t.da, 3*H, n)
+	g.Wh.MulLanesT(0, 2*H, t.da, 3*H, n, t.scr, t.pool)
+	t.pool.For(n, func(a int) {
+		for j := 0; j < H; j++ {
+			t.dh[a*H+j] = t.dhAcc[a*H+j] + t.scr[a*H+j]
+		}
+	})
+	if dx != nil {
+		g.Wx.MulLanesT(0, 3*H, t.da, 3*H, n, dx, t.pool)
+	}
+}
+
+// mlpTrainLayer trains the windowed-MLP baseline in fused form. The MLP
+// is restricted to a single (top) layer and the heads read only the
+// final step's output, so per-step evaluation is wasted work at train
+// time: the layer buffers the window and runs one GEMM at the final
+// step. Non-final steps contribute no gradient (StepBackward returns a
+// zero dhPrev), so skipping them is exact, not an approximation.
+type mlpTrainLayer struct {
+	m    *WindowMLP
+	pool *Pool
+
+	n, steps int
+	flat     []float64 // n × In·Window, zero-padded like flatten()
+	h        []float64 // n×H final-step activations
+	da       []float64 // n×H
+}
+
+func (t *mlpTrainLayer) begin(n, steps int) {
+	t.n, t.steps = n, steps
+	FW := t.m.In * t.m.Window
+	t.flat = growFloats(t.flat, n*FW)
+	zeroRange(t.flat[:n*FW])
+	t.h = growFloats(t.h, n*t.m.Hidden)
+	t.da = growFloats(t.da, n*t.m.Hidden)
+}
+
+func (t *mlpTrainLayer) forward(st, n int, xs, hs []float64) {
+	In, W, H := t.m.In, t.m.Window, t.m.Hidden
+	// Step st of a steps-long stream lands in ring slot st+W-steps of
+	// the final (front-padded) window; earlier steps fall off the ring.
+	slot := st + W - t.steps
+	if slot < 0 {
+		return
+	}
+	for a := 0; a < n; a++ {
+		copy(t.flat[a*In*W+slot*In:a*In*W+(slot+1)*In], xs[a*In:(a+1)*In])
+	}
+	if st != t.steps-1 {
+		return
+	}
+	t.m.W.MulLanes(0, H, t.flat, n, t.h, H, t.pool)
+	bias := t.m.B.Data
+	t.pool.For(n, func(a int) {
+		for j := 0; j < H; j++ {
+			v := math.Tanh(t.h[a*H+j] + bias[j])
+			t.h[a*H+j] = v
+			hs[a*H+j] = v
+		}
+	})
+}
+
+func (t *mlpTrainLayer) backward(st, n int, dhIn, _ []float64) {
+	if st != t.steps-1 || dhIn == nil {
+		return
+	}
+	H := t.m.Hidden
+	t.pool.For(n, func(a int) {
+		for j := 0; j < H; j++ {
+			t.da[a*H+j] = dhIn[a*H+j] * DTanh(t.h[a*H+j])
+		}
+	})
+	t.m.W.AddGradLanes(0, H, t.da, H, n, t.flat, t.pool)
+	addBiasGradLanes(t.m.B, 0, H, t.da, H, n)
+}
+
+// genericTrainLayer is the scalar fallback for cells without a fused
+// trainer: StepState/StepBackward per lane in ascending-lane order.
+// It runs serially — StepBackward accumulates into shared parameter
+// gradients — and exists so a new Cell implementation trains correctly
+// (if slowly) before it grows a fused path.
+type genericTrainLayer struct {
+	c      Cell
+	states []CellState
+	caches [][]CellCache // [step][lane]
+	dh     [][]float64
+	dc     [][]float64
+}
+
+func (t *genericTrainLayer) begin(n, steps int) {
+	t.states = make([]CellState, n)
+	t.dh = make([][]float64, n)
+	t.dc = make([][]float64, n)
+	for a := 0; a < n; a++ {
+		t.states[a] = t.c.FreshState()
+		t.dh[a] = Zeros(t.c.HiddenSize())
+	}
+	t.caches = make([][]CellCache, steps)
+	for i := range t.caches {
+		t.caches[i] = make([]CellCache, n)
+	}
+}
+
+func (t *genericTrainLayer) forward(st, n int, xs, hs []float64) {
+	in, H := t.c.InSize(), t.c.HiddenSize()
+	for a := 0; a < n; a++ {
+		h, cache := t.c.StepState(t.states[a], xs[a*in:(a+1)*in], true)
+		t.caches[st][a] = cache
+		copy(hs[a*H:(a+1)*H], h)
+	}
+}
+
+func (t *genericTrainLayer) backward(st, n int, dhIn, dx []float64) {
+	in, H := t.c.InSize(), t.c.HiddenSize()
+	for a := 0; a < n; a++ {
+		if dhIn != nil {
+			AddTo(t.dh[a], dhIn[a*H:(a+1)*H])
+		}
+		dhPrev, dcPrev, dxv := t.c.StepBackward(t.caches[st][a], t.dh[a], t.dc[a])
+		t.dh[a], t.dc[a] = dhPrev, dcPrev
+		if dx != nil {
+			copy(dx[a*in:(a+1)*in], dxv)
+		}
+	}
+}

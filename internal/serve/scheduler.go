@@ -10,6 +10,7 @@ import (
 
 	"mimicnet/internal/cluster"
 	"mimicnet/internal/core"
+	"mimicnet/internal/ml"
 	"mimicnet/internal/sim"
 	"mimicnet/internal/tuning"
 )
@@ -41,6 +42,25 @@ type Progress struct {
 	SimTimeS     float64 `json:"sim_time_s"`
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
+
+	// Train is the most recent per-epoch training report (the two
+	// directions train concurrently; whichever reported last wins). It is
+	// set during the train phase and retained through compose so clients
+	// can still see how training went after the phase moves on. Nil for
+	// registry hits — no training happened.
+	Train *TrainProgress `json:"train,omitempty"`
+}
+
+// TrainProgress mirrors ml.TrainProgress plus the direction tag, in the
+// daemon's JSON vocabulary.
+type TrainProgress struct {
+	Direction     string  `json:"direction"` // ingress | egress
+	Epoch         int     `json:"epoch"`
+	Epochs        int     `json:"epochs"`
+	Loss          float64 `json:"loss"`
+	Samples       int     `json:"samples"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	BatchSize     int     `json:"batch_size"`
 }
 
 // Job is one scheduled estimation request.
@@ -121,7 +141,14 @@ func (j *Job) setPhase(phase string) {
 
 func (j *Job) setProgress(p Progress) {
 	j.mu.Lock()
+	p.Train = j.progress.Train // training reports outlive the train phase
 	j.progress = p
+	j.mu.Unlock()
+}
+
+func (j *Job) setTrainProgress(tp TrainProgress) {
+	j.mu.Lock()
+	j.progress.Train = &tp
 	j.mu.Unlock()
 }
 
@@ -418,7 +445,17 @@ func (s *Scheduler) runJob(ctx context.Context, j *Job) {
 	j.setPhase("train")
 	t0 := time.Now()
 	models, hit, err := s.reg.Get(ctx, j.key, func() (*core.MimicModels, error) {
-		return trainForSpec(ctx, base, tcfg, j.spec)
+		return trainForSpec(ctx, base, tcfg, j.spec, func(dir core.Direction, p ml.TrainProgress) {
+			j.setTrainProgress(TrainProgress{
+				Direction:     dir.String(),
+				Epoch:         p.Epoch,
+				Epochs:        p.Epochs,
+				Loss:          p.Loss,
+				Samples:       p.Samples,
+				SamplesPerSec: p.SamplesPerSec,
+				BatchSize:     p.BatchSize,
+			})
+		})
 	})
 	trainDur := time.Since(t0)
 	if err != nil {
@@ -459,17 +496,15 @@ func (s *Scheduler) runJob(ctx context.Context, j *Job) {
 }
 
 // trainForSpec is the registry's materializer: data generation, training,
-// and optional hyper-parameter tuning. Cancellation is honored at phase
-// boundaries (each phase is itself bounded by the spec's horizons).
-func trainForSpec(ctx context.Context, base cluster.Config, tcfg core.TrainConfig, spec JobSpec) (*core.MimicModels, error) {
+// and optional hyper-parameter tuning. Data generation and the final
+// training honor ctx mid-phase (the tuning loop still only checks at
+// phase boundaries), and per-epoch progress streams through the callback.
+func trainForSpec(ctx context.Context, base cluster.Config, tcfg core.TrainConfig, spec JobSpec, progress core.TrainProgressFunc) (*core.MimicModels, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ing, eg, _, err := core.GenerateTrainingData(base, spec.smallRunTime(), tcfg)
+	ing, eg, _, err := core.GenerateTrainingDataContext(ctx, base, spec.smallRunTime(), tcfg)
 	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if spec.Tune > 0 {
@@ -482,6 +517,7 @@ func trainForSpec(ctx context.Context, base cluster.Config, tcfg core.TrainConfi
 		boCfg := tuning.DefaultBayesOptConfig()
 		boCfg.InitPoints = min(4, spec.Tune)
 		boCfg.Iterations = spec.Tune - boCfg.InitPoints
+		boCfg.Workers = runtime.GOMAXPROCS(0) // parallel warm-up trials
 		res, err := tuning.BayesOpt(tuning.MimicSpace(),
 			tuning.MimicObjective(ing, eg, tcfg, validator), boCfg)
 		if err != nil {
@@ -492,6 +528,6 @@ func trainForSpec(ctx context.Context, base cluster.Config, tcfg core.TrainConfi
 			return nil, err
 		}
 	}
-	models, _, _, err := core.TrainModels(ing, eg, tcfg)
+	models, _, _, err := core.TrainModelsContext(ctx, ing, eg, tcfg, progress)
 	return models, err
 }

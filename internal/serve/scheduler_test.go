@@ -144,6 +144,88 @@ func TestSchedulerDrain(t *testing.T) {
 	}
 }
 
+// TestJobReportsTrainProgress runs the real pipeline and checks the
+// train phase is no longer a silent gap: the job's Progress carries
+// per-epoch training reports, retained after the phase moves on, and a
+// registry hit (no training) leaves them empty.
+func TestJobReportsTrainProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains real models")
+	}
+	reg, err := NewRegistry(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(reg, 4, 1)
+	spec := JobSpec{
+		Clusters: 2, Racks: 1, Hosts: 2, Aggs: 1, CoresPerAgg: 1,
+		WorkloadMs: 40, RunMs: 60, SmallRunMs: 50,
+		Window: 4, Hidden: 6, Epochs: 2,
+	}
+	cold, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, cold, StateDone)
+	tp := cold.Status().Progress.Train
+	if tp == nil {
+		t.Fatal("cold job finished with no training progress")
+	}
+	if tp.Epoch != 2 || tp.Epochs != 2 || tp.SamplesPerSec <= 0 || tp.Samples <= 0 {
+		t.Fatalf("train progress = %+v", tp)
+	}
+	if tp.Direction != "ingress" && tp.Direction != "egress" {
+		t.Fatalf("train progress direction = %q", tp.Direction)
+	}
+	if tp.BatchSize < 1 {
+		t.Fatalf("train progress batch size = %d", tp.BatchSize)
+	}
+
+	warm, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, warm, StateDone)
+	if warm.Status().Progress.Train != nil {
+		t.Fatal("registry hit reported training progress")
+	}
+}
+
+// TestJobCancelledMidTrain: cancelling during the train phase stops the
+// job promptly with partial training discarded.
+func TestJobCancelledMidTrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains real models")
+	}
+	reg, err := NewRegistry(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(reg, 4, 1)
+	spec := JobSpec{
+		Clusters: 2, Racks: 1, Hosts: 2, Aggs: 1, CoresPerAgg: 1,
+		WorkloadMs: 60, RunMs: 60, SmallRunMs: 60,
+		Window: 4, Hidden: 24, Epochs: 500, // long enough to cancel mid-train
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Minute)
+	for j.Status().Progress.Train == nil {
+		select {
+		case <-deadline:
+			t.Fatal("job never reported training progress")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	j.Cancel()
+	waitState(t, j, StateCancelled)
+	if reg.Contains(j.key) {
+		t.Fatal("partially trained model was cached")
+	}
+}
+
 // TestSchedulerRejectsInvalidSpec: validation happens at admission so the
 // queue never holds an unrunnable job.
 func TestSchedulerRejectsInvalidSpec(t *testing.T) {

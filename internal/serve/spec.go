@@ -52,6 +52,9 @@ type JobSpec struct {
 	Layers int    `json:"layers,omitempty"`
 	Epochs int    `json:"epochs,omitempty"`
 	Cell   string `json:"cell,omitempty"` // lstm|gru|mlp
+	// BatchSize selects the minibatch trainer width (0 = engine default;
+	// 1 = the sequential reference path).
+	BatchSize int `json:"batch_size,omitempty"`
 
 	// Tune, when positive, runs hyper-parameter tuning with this budget
 	// before the final training; the tuned artifact is what gets cached.
@@ -176,6 +179,12 @@ func (s JobSpec) Configs() (cluster.Config, core.TrainConfig, error) {
 	tcfg.Model.Layers = s.Layers
 	tcfg.Model.Epochs = s.Epochs
 	tcfg.Model.CellType = s.Cell
+	if s.BatchSize != 0 {
+		// 0 keeps DefaultModelConfig's engine default, so specs that
+		// leave BatchSize unset and specs that pin it to the default
+		// produce the same ModelKey.
+		tcfg.Model.BatchSize = s.BatchSize
+	}
 	return base, tcfg, nil
 }
 

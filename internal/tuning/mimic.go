@@ -177,7 +177,11 @@ func ApplyParams(cfg core.TrainConfig, params map[string]float64) core.TrainConf
 
 // MimicObjective builds an Objective that retrains models on the given
 // datasets with candidate hyper-parameters and scores them end-to-end
-// with the validator.
+// with the validator. The datasets and validator reference runs are built
+// once and shared by every trial; trials only read them (training copies
+// whatever it keeps, see bankSubsample), so the returned Objective is
+// safe for the concurrent evaluation RandomSearchParallel and the
+// BayesOpt warm-up perform.
 func MimicObjective(ing, eg *core.Dataset, base core.TrainConfig, v *Validator) Objective {
 	return func(params map[string]float64) (float64, error) {
 		cfg := ApplyParams(base, params)

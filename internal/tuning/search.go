@@ -3,6 +3,7 @@ package tuning
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"mimicnet/internal/stats"
 )
@@ -95,19 +96,31 @@ type Result struct {
 	History []Point
 }
 
-// RandomSearch evaluates n uniform samples.
+// RandomSearch evaluates n uniform samples serially.
 func RandomSearch(space Space, obj Objective, n int, seed int64) (Result, error) {
+	return RandomSearchParallel(space, obj, n, seed, 1)
+}
+
+// RandomSearchParallel evaluates the same n candidates as RandomSearch on
+// up to workers concurrent goroutines. Random-search trials are
+// independent, so all candidate parameters are drawn from the seeded
+// stream up front (the draws never depend on scores) and evaluated in
+// parallel; History keeps draw order and Best is chosen by a strict-<
+// scan over that order. For a deterministic objective the Result is
+// therefore identical to the serial search, only faster.
+func RandomSearchParallel(space Space, obj Objective, n int, seed int64, workers int) (Result, error) {
 	if err := space.Validate(); err != nil {
 		return Result{}, err
 	}
 	rng := stats.NewStream(seed)
-	res := Result{Best: Point{Score: math.Inf(1)}}
-	for i := 0; i < n; i++ {
-		params := space.concretize(space.sampleUnit(rng))
-		score, err := obj(params)
-		pt := Point{Params: params, Score: score, Err: err}
-		res.History = append(res.History, pt)
-		if err == nil && score < res.Best.Score {
+	candidates := make([]map[string]float64, n)
+	for i := range candidates {
+		candidates[i] = space.concretize(space.sampleUnit(rng))
+	}
+	history := evalParallel(candidates, obj, workers)
+	res := Result{Best: Point{Score: math.Inf(1)}, History: history}
+	for _, pt := range history {
+		if pt.Err == nil && pt.Score < res.Best.Score {
 			res.Best = pt
 		}
 	}
@@ -115,6 +128,40 @@ func RandomSearch(space Space, obj Objective, n int, seed int64) (Result, error)
 		return res, fmt.Errorf("tuning: every evaluation failed")
 	}
 	return res, nil
+}
+
+// evalParallel scores every candidate on a bounded worker pool and
+// returns the points in candidate order. workers < 2 runs inline.
+func evalParallel(candidates []map[string]float64, obj Objective, workers int) []Point {
+	out := make([]Point, len(candidates))
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	if workers < 2 {
+		for i, params := range candidates {
+			score, err := obj(params)
+			out[i] = Point{Params: params, Score: score, Err: err}
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				score, err := obj(candidates[i])
+				out[i] = Point{Params: candidates[i], Score: score, Err: err}
+			}
+		}()
+	}
+	for i := range candidates {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
 }
 
 // BayesOptConfig controls the GP-EI loop.
@@ -125,6 +172,13 @@ type BayesOptConfig struct {
 	LengthScale float64 // RBF length scale in unit space
 	Noise       float64 // observation noise
 	Seed        int64
+	// Workers bounds concurrent objective evaluations during the random
+	// warm-up (the iterations themselves are inherently sequential: each
+	// acquisition conditions on every earlier score). <=1 runs serially;
+	// results are identical either way for a deterministic objective
+	// because warm-up candidates are drawn before any evaluation and
+	// recorded in draw order.
+	Workers int
 }
 
 // DefaultBayesOptConfig returns sensible defaults for small budgets.
@@ -159,23 +213,34 @@ func BayesOpt(space Space, obj Objective, cfg BayesOptConfig) (Result, error) {
 	var xs [][]float64
 	var ys []float64
 
-	eval := func(unit []float64) {
-		params := space.concretize(unit)
-		score, err := obj(params)
-		pt := Point{Params: params, Score: score, Err: err}
+	record := func(unit []float64, pt Point) {
 		res.History = append(res.History, pt)
-		if err != nil {
+		if pt.Err != nil {
 			return
 		}
 		xs = append(xs, unit)
-		ys = append(ys, score)
-		if score < res.Best.Score {
+		ys = append(ys, pt.Score)
+		if pt.Score < res.Best.Score {
 			res.Best = pt
 		}
 	}
+	eval := func(unit []float64) {
+		params := space.concretize(unit)
+		score, err := obj(params)
+		record(unit, Point{Params: params, Score: score, Err: err})
+	}
 
-	for i := 0; i < cfg.InitPoints; i++ {
-		eval(space.sampleUnit(rng))
+	// Warm-up: the candidates are independent, so draw them all first and
+	// score on the bounded pool; record() keeps draw order so the GP sees
+	// the exact same history a serial warm-up would produce.
+	warm := make([]map[string]float64, cfg.InitPoints)
+	units := make([][]float64, cfg.InitPoints)
+	for i := range warm {
+		units[i] = space.sampleUnit(rng)
+		warm[i] = space.concretize(units[i])
+	}
+	for i, pt := range evalParallel(warm, obj, cfg.Workers) {
+		record(units[i], pt)
 	}
 	for i := 0; i < cfg.Iterations; i++ {
 		if len(xs) < 2 {

@@ -135,6 +135,67 @@ func TestRandomSearchFindsDecentPoint(t *testing.T) {
 	}
 }
 
+// pointsEqual compares two search points bitwise.
+func pointsEqual(a, b Point) bool {
+	if a.Score != b.Score || (a.Err == nil) != (b.Err == nil) || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for k, v := range a.Params {
+		if b.Params[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRandomSearchParallelMatchesSerial(t *testing.T) {
+	serial, err := RandomSearch(quadSpace(), quadratic, 40, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 64} {
+		par, err := RandomSearchParallel(quadSpace(), quadratic, 40, 11, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pointsEqual(par.Best, serial.Best) {
+			t.Fatalf("workers=%d best %+v != serial %+v", workers, par.Best, serial.Best)
+		}
+		if len(par.History) != len(serial.History) {
+			t.Fatalf("workers=%d history length %d != %d", workers, len(par.History), len(serial.History))
+		}
+		for i := range par.History {
+			if !pointsEqual(par.History[i], serial.History[i]) {
+				t.Fatalf("workers=%d history[%d] diverged", workers, i)
+			}
+		}
+	}
+}
+
+func TestBayesOptParallelWarmupMatchesSerial(t *testing.T) {
+	cfg := DefaultBayesOptConfig()
+	cfg.InitPoints = 8
+	cfg.Iterations = 6
+	cfg.Seed = 9
+	serial, err := BayesOpt(quadSpace(), quadratic, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := BayesOpt(quadSpace(), quadratic, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pointsEqual(par.Best, serial.Best) {
+		t.Fatalf("parallel warm-up best %+v != serial %+v", par.Best, serial.Best)
+	}
+	for i := range serial.History {
+		if !pointsEqual(par.History[i], serial.History[i]) {
+			t.Fatalf("history[%d] diverged with parallel warm-up", i)
+		}
+	}
+}
+
 func TestBayesOptBeatsRandomAtEqualBudget(t *testing.T) {
 	budget := 24
 	rnd, err := RandomSearch(quadSpace(), quadratic, budget, 7)
@@ -260,6 +321,56 @@ func TestValidatorAndObjective(t *testing.T) {
 		t.Errorf("tuning score = %v", res.Best.Score)
 	}
 	t.Logf("best tuning score (mean W1 FCT): %v with %v", res.Best.Score, res.Best.Params)
+}
+
+// TestMimicObjectiveParallelTrialsMatchSerial runs the real tuning
+// objective (train + compose + validate) through the parallel searcher
+// and asserts it selects the exact best params the serial search does —
+// trials share the built datasets and validator references, and the whole
+// pipeline is deterministic per candidate.
+func TestMimicObjectiveParallelTrialsMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning end-to-end is slow")
+	}
+	base := cluster.DefaultConfig(2)
+	base.Workload = workload.DefaultConfig(20_000)
+	base.Workload.Duration = 100 * sim.Millisecond
+
+	valBase := base
+	valBase.Workload.Seed = 99
+	v, err := NewValidator(valBase, []int{2}, 150*sim.Millisecond, "fct")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tcfg := core.DefaultTrainConfig()
+	tcfg.Dataset.Window = 4
+	tcfg.Model = ml.DefaultModelConfig(0, 4)
+	tcfg.Model.Hidden = 8
+	tcfg.Model.Epochs = 1
+	ing, eg, _, err := core.GenerateTrainingData(base, 150*sim.Millisecond, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := MimicObjective(ing, eg, tcfg, v)
+	cheap := func(p map[string]float64) (float64, error) {
+		// Pin the expensive dimensions for test speed.
+		p["hidden"] = 8
+		p["epochs"] = 1
+		p["layers"] = 1
+		return obj(p)
+	}
+	serial, err := RandomSearch(MimicSpace(), cheap, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RandomSearchParallel(MimicSpace(), cheap, 3, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pointsEqual(par.Best, serial.Best) {
+		t.Fatalf("parallel trials best %+v != serial %+v", par.Best, serial.Best)
+	}
 }
 
 func TestValidatorRejectsUnknownMetric(t *testing.T) {
