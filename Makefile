@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-all bench-json bench-train fuzz ci serve-smoke clean
+.PHONY: build test test-race vet bench bench-all bench-json bench-train bench-smoke fuzz ci serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -16,14 +16,15 @@ test:
 test-race:
 	$(GO) test -race ./internal/sim ./internal/netsim ./internal/core ./internal/cluster ./internal/ml ./internal/tuning ./internal/serve
 
-# vet also cross-checks that the pure-Go build path compiles, so an
-# accelerator-tagged file can't silently become load-bearing.
+# vet runs under both build configurations — the default (assembly
+# kernels) and purego — so an accelerator-tagged file can't silently
+# become load-bearing or rot behind its tag.
 vet:
 	$(GO) vet ./...
-	GOFLAGS=-tags=purego $(GO) build ./...
+	GOFLAGS=-tags=purego $(GO) vet ./...
 
 # Everything the driver gates on, in one target.
-ci: vet test-race
+ci: vet test-race bench-smoke
 
 # Batched vs per-packet inference cost (the ns/step metric must show the
 # batched engine at least 2x cheaper per step for B >= 16).
@@ -46,8 +47,16 @@ bench-train:
 bench-all:
 	$(GO) test -bench . -benchmem .
 
+# One iteration of every Benchmark* (~3-4 min): a crash-and-wiring
+# canary over the whole suite, not a measurement. Tables land in
+# bench_output.txt to keep CI logs readable.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x . > bench_output.txt
+
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzMulLanes -fuzztime 30s ./internal/ml
+	$(GO) test -run xxx -fuzz FuzzW1 -fuzztime 30s ./internal/metrics
+	$(GO) test -run xxx -fuzz FuzzHistogramObserve -fuzztime 30s ./internal/obs
 
 # End-to-end daemon check: boots mimicnetd on a random port, runs a cold
 # job over HTTP, proves the identical resubmission skips training via a

@@ -9,6 +9,8 @@
 //	DELETE /v1/jobs/{id} cancel
 //	GET    /healthz      liveness (503 while draining)
 //	GET    /stats        scheduler + registry counters
+//	GET    /metrics      Prometheus text exposition (internal/obs)
+//	GET    /debug/pprof/ Go runtime profiling
 //
 // SIGTERM/SIGINT drain gracefully: new submissions are rejected, queued
 // and running jobs finish, then the process exits.

@@ -312,7 +312,9 @@ func (inst *Simulation) Flows() []workload.Flow { return inst.flows }
 
 // Run advances the simulation to the given simulated time.
 func (inst *Simulation) Run(until sim.Time) {
+	pre := inst.Sim.Processed()
 	inst.Sim.RunUntil(until)
+	sim.CountKernelEvents(inst.Sim.Processed() - pre)
 }
 
 // CancelCheckEvery is how many kernel events elapse between cooperative
@@ -342,7 +344,9 @@ func (inst *Simulation) RunContext(ctx context.Context, until sim.Time) (cancell
 		return false
 	})
 	defer inst.Sim.SetTicker(0, nil)
+	pre := inst.Sim.Processed()
 	inst.Sim.RunUntil(until)
+	sim.CountKernelEvents(inst.Sim.Processed() - pre)
 	return inst.cancelled
 }
 

@@ -8,6 +8,7 @@ import (
 	"mimicnet/internal/cluster"
 	"mimicnet/internal/metrics"
 	"mimicnet/internal/netsim"
+	"mimicnet/internal/obs"
 	"mimicnet/internal/sim"
 	"mimicnet/internal/stats"
 	"mimicnet/internal/topo"
@@ -485,12 +486,16 @@ func (c *Composed) FeederEvents() uint64 {
 // requests still collecting when the horizon hits are flushed so that
 // model state, RNG streams, and drop accounting match the inline path.
 func (c *Composed) Run(until sim.Time) {
+	sp := obs.StartSpan(obsPhaseCompose)
 	if c.par != nil {
-		c.par.Run(until)
+		c.par.Run(until) // the PDES coordinator publishes its own event deltas
 	} else {
+		pre := c.Sim.Processed()
 		c.Sim.RunUntil(until)
+		sim.CountKernelEvents(c.Sim.Processed() - pre)
 	}
 	c.flushSchedulers()
+	sp.End()
 }
 
 func (c *Composed) flushSchedulers() {
@@ -515,6 +520,7 @@ func (c *Composed) RunContext(ctx context.Context, until sim.Time) (cancelled bo
 		c.Run(until)
 		return false
 	}
+	defer obs.StartSpan(obsPhaseCompose).End()
 	tick := func(now sim.Time, events uint64) bool {
 		if c.Progress != nil {
 			c.Progress(now, events)
@@ -530,9 +536,11 @@ func (c *Composed) RunContext(ctx context.Context, until sim.Time) (cancelled bo
 		defer func() { c.par.Ticker = nil }()
 		c.par.Run(until)
 	} else {
+		pre := c.Sim.Processed()
 		c.Sim.SetTicker(cluster.CancelCheckEvery, tick)
 		defer c.Sim.SetTicker(0, nil)
 		c.Sim.RunUntil(until)
+		sim.CountKernelEvents(c.Sim.Processed() - pre)
 	}
 	c.flushSchedulers()
 	return c.cancelled

@@ -143,6 +143,7 @@ func (is *InferenceScheduler) flush() {
 		return
 	}
 	is.Flushes++
+	obsInferFlushes.Inc()
 	for dir := range is.queues {
 		q := is.queues[dir]
 		for round := 0; ; round++ {
@@ -176,6 +177,7 @@ func (is *InferenceScheduler) flush() {
 			is.preds = is.preds[:len(is.lanes)]
 			is.models[dir].StepLanes(is.lanes, is.xs, is.want, is.preds)
 			is.BatchedSteps += uint64(len(is.lanes))
+			obsInferSteps.Add(uint64(len(is.lanes)))
 			if len(is.lanes) > is.MaxBatch {
 				is.MaxBatch = len(is.lanes)
 			}

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"mimicnet/internal/obs"
+)
+
+// Runtime telemetry for the pipeline (obs package; DESIGN.md decision
+// 10). Phase durations are one Span per phase — two clock reads per
+// multi-second phase — and the inference counters are bumped once per
+// flush, not per packet, so the batched engine's hot path is untouched.
+var (
+	obsPhaseDatagen = obs.Default().Histogram(
+		`mimicnet_core_phase_seconds{phase="datagen"}`,
+		"Wall time per pipeline phase (small-scale data generation, training, composed run, tuning validation).",
+		obs.TimeBuckets())
+	obsPhaseTrain = obs.Default().Histogram(
+		`mimicnet_core_phase_seconds{phase="train"}`, "", obs.TimeBuckets())
+	obsPhaseCompose = obs.Default().Histogram(
+		`mimicnet_core_phase_seconds{phase="compose"}`, "", obs.TimeBuckets())
+
+	obsInferFlushes = obs.Default().Counter("mimicnet_core_inference_flushes_total",
+		"Batched inference scheduler flush events.")
+	obsInferSteps = obs.Default().Counter("mimicnet_core_inference_steps_total",
+		"Model steps issued through fused batched-inference calls.")
+)

@@ -6,6 +6,7 @@ import (
 
 	"mimicnet/internal/cluster"
 	"mimicnet/internal/ml"
+	"mimicnet/internal/obs"
 	"mimicnet/internal/sim"
 	"mimicnet/internal/stats"
 )
@@ -128,6 +129,7 @@ func GenerateTrainingData(base cluster.Config, duration sim.Time, cfg TrainConfi
 // cancellation of the small-scale run; a cancelled run returns ctx's
 // error rather than datasets built from a partial trace.
 func GenerateTrainingDataContext(ctx context.Context, base cluster.Config, duration sim.Time, cfg TrainConfig) (ing, eg *Dataset, inst *cluster.Simulation, err error) {
+	defer obs.StartSpan(obsPhaseDatagen).End()
 	small := base
 	small.Topo = base.Topo.WithClusters(2)
 	small.Observable = 0
@@ -168,6 +170,7 @@ func TrainModels(ing, eg *Dataset, cfg TrainConfig) (*MimicModels, ml.EvalResult
 // progress, when non-nil, receives interleaved per-epoch reports tagged
 // by direction.
 func TrainModelsContext(ctx context.Context, ing, eg *Dataset, cfg TrainConfig, progress TrainProgressFunc) (*MimicModels, ml.EvalResult, ml.EvalResult, error) {
+	defer obs.StartSpan(obsPhaseTrain).End()
 	var (
 		egModel *DirectionModel
 		egEval  ml.EvalResult

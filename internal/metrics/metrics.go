@@ -18,7 +18,9 @@ import (
 // For one-dimensional empirical distributions with equal sample counts
 // this reduces to the mean absolute difference of sorted samples; for
 // unequal counts we integrate the CDF difference exactly over the merged
-// support. Lower is better; zero means identical distributions.
+// support. Lower is better; zero means identical distributions. Empty
+// inputs or inputs containing NaN yield NaN: there is no meaningful
+// distance to or from an ill-defined distribution.
 func W1(a, b []float64) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return math.NaN()
@@ -27,6 +29,11 @@ func W1(a, b []float64) float64 {
 	bs := append([]float64(nil), b...)
 	sort.Float64s(as)
 	sort.Float64s(bs)
+	// sort.Float64s places NaNs first; without this guard the merged-
+	// support walk below could never advance past one (NaN != NaN).
+	if math.IsNaN(as[0]) || math.IsNaN(bs[0]) {
+		return math.NaN()
+	}
 	if len(as) == len(bs) {
 		var sum float64
 		for i := range as {
@@ -316,6 +323,10 @@ func KS(a, b []float64) float64 {
 	bs := append([]float64(nil), b...)
 	sort.Float64s(as)
 	sort.Float64s(bs)
+	// Same NaN guard as W1: a leading NaN would stall the merge walk.
+	if math.IsNaN(as[0]) || math.IsNaN(bs[0]) {
+		return math.NaN()
+	}
 	var maxDiff float64
 	i, j := 0, 0
 	for i < len(as) || j < len(bs) {

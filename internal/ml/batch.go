@@ -552,6 +552,7 @@ func (b *BatchedStatefulModel) StepLanes(lanes []int, xs [][]float64, want []boo
 	if n == 0 {
 		return
 	}
+	obsBatchSize.Observe(float64(n))
 	width := b.model.Cfg.Features
 	H := b.model.Cfg.Hidden
 	max := width

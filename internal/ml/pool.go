@@ -71,6 +71,8 @@ func (p *Pool) For(n int, fn func(int)) {
 		}
 		return
 	}
+	obsPoolDispatches.Inc()
+	obsPoolSubmits.Add(uint64(n - 1))
 	var wg sync.WaitGroup
 	wg.Add(n - 1)
 	for i := 1; i < n; i++ {
@@ -100,6 +102,7 @@ var (
 func SharedPool() *Pool {
 	sharedPoolOnce.Do(func() {
 		sharedPool = NewPool(runtime.GOMAXPROCS(0))
+		registerPoolGauges(sharedPool)
 	})
 	return sharedPool
 }

@@ -113,6 +113,9 @@ func (m *Model) fit(ctx context.Context, lr float64, rng *stats.Stream, samples 
 			opt.Step(params)
 		}
 		if len(samples) > 0 {
+			obsTrainEpochs.Inc()
+			obsTrainSamples.Add(uint64(len(samples)))
+			obsTrainBatches.Add(uint64((len(samples) + B - 1) / B))
 			loss := sum / float64(len(samples))
 			res.EpochLoss = append(res.EpochLoss, loss)
 			if opts.Progress != nil {

@@ -52,7 +52,10 @@ func (c *Client) getJSON(path string, out any) error {
 	if resp.StatusCode != http.StatusOK {
 		return decodeError(resp)
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serve: malformed response from %s: %w", path, err)
+	}
+	return nil
 }
 
 // Submit enqueues a job. A full queue surfaces as *BusyError carrying the
@@ -70,7 +73,10 @@ func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
 	switch resp.StatusCode {
 	case http.StatusAccepted:
 		var st JobStatus
-		return st, json.NewDecoder(resp.Body).Decode(&st)
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return JobStatus{}, fmt.Errorf("serve: malformed response from /v1/jobs: %w", err)
+		}
+		return st, nil
 	case http.StatusTooManyRequests:
 		sec, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
 		if sec <= 0 {

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stubServer returns a client pointed at an arbitrary handler, for
+// exercising the client's error paths without a real scheduler.
+func stubServer(t *testing.T, h http.HandlerFunc) *Client {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL)
+}
+
+func TestClientBusyHonorsRetryAfter(t *testing.T) {
+	c := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "17")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: ErrQueueFull.Error()})
+	})
+	_, err := c.Submit(tinySpec())
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("want *BusyError, got %v", err)
+	}
+	if busy.RetryAfter != 17*time.Second {
+		t.Fatalf("RetryAfter = %v, want 17s", busy.RetryAfter)
+	}
+}
+
+func TestClientBusyMissingRetryAfterDefaults(t *testing.T) {
+	c := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: ErrQueueFull.Error()})
+	})
+	_, err := c.Submit(tinySpec())
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("want *BusyError, got %v", err)
+	}
+	if busy.RetryAfter != 5*time.Second {
+		t.Fatalf("RetryAfter = %v, want default 5s", busy.RetryAfter)
+	}
+}
+
+// TestClientDrainMidRequest submits against a real server whose scheduler
+// drained between the client's connection and the request: admission is
+// closed, so the daemon answers 503 and the client surfaces the drain
+// reason rather than a bare status code.
+func TestClientDrainMidRequest(t *testing.T) {
+	ts, sched, _ := newTestServer(t, 4, 1)
+	c := NewClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := sched.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Submit(tinySpec())
+	if err == nil {
+		t.Fatal("submit against a draining daemon must fail")
+	}
+	if !strings.Contains(err.Error(), "draining") || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("drain error not surfaced clearly: %v", err)
+	}
+}
+
+func TestClientMalformedJSONBody(t *testing.T) {
+	c := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if r.Method == http.MethodPost {
+			w.WriteHeader(http.StatusAccepted)
+		}
+		_, _ = w.Write([]byte(`{"id": "j1", truncated`))
+	})
+	_, err := c.Submit(tinySpec())
+	if err == nil {
+		t.Fatal("malformed body must error")
+	}
+	if !strings.Contains(err.Error(), "malformed response") {
+		t.Fatalf("want a clear decode error, got: %v", err)
+	}
+
+	_, err = c.Job("j1")
+	if err == nil || !strings.Contains(err.Error(), "malformed response") {
+		t.Fatalf("getJSON decode error not surfaced: %v", err)
+	}
+}
+
+func TestClientErrorBodyPlainText(t *testing.T) {
+	c := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "kaboom", http.StatusInternalServerError)
+	})
+	_, err := c.Submit(tinySpec())
+	if err == nil || !strings.Contains(err.Error(), "kaboom") || !strings.Contains(err.Error(), "500") {
+		t.Fatalf("non-JSON error body not surfaced: %v", err)
+	}
+}

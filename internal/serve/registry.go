@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"mimicnet/internal/core"
+	"mimicnet/internal/obs"
 )
 
 // Registry is the content-addressed store of trained model artifacts.
@@ -31,7 +32,16 @@ type Registry struct {
 	lru      *list.List // of *regEntry, front = most recent
 	idx      map[string]*list.Element
 	inflight map[string]*flight
-	stats    RegistryStats
+
+	// Telemetry cells: one source of truth for Stats() and, once
+	// ExposeTo binds them, GET /metrics.
+	cMemHits     obs.Counter
+	cDiskHits    obs.Counter
+	cMisses      obs.Counter
+	cCoalesced   obs.Counter
+	cCorrupt     obs.Counter
+	cEvictions   obs.Counter
+	cStoreErrors obs.Counter
 }
 
 type regEntry struct {
@@ -85,10 +95,18 @@ func NewRegistry(dir string, memCap int) (*Registry, error) {
 
 // Stats snapshots the counters.
 func (r *Registry) Stats() RegistryStats {
+	s := RegistryStats{
+		MemHits:     r.cMemHits.Value(),
+		DiskHits:    r.cDiskHits.Value(),
+		Misses:      r.cMisses.Value(),
+		Coalesced:   r.cCoalesced.Value(),
+		Corrupt:     r.cCorrupt.Value(),
+		Evictions:   r.cEvictions.Value(),
+		StoreErrors: r.cStoreErrors.Value(),
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := r.stats
 	s.Entries = r.lru.Len()
+	r.mu.Unlock()
 	return s
 }
 
@@ -101,13 +119,13 @@ func (r *Registry) Get(ctx context.Context, key string, train func() (*core.Mimi
 	r.mu.Lock()
 	if el, ok := r.idx[key]; ok {
 		r.lru.MoveToFront(el)
-		r.stats.MemHits++
+		r.cMemHits.Inc()
 		m := el.Value.(*regEntry).models
 		r.mu.Unlock()
 		return m, true, nil
 	}
 	if f, ok := r.inflight[key]; ok {
-		r.stats.Coalesced++
+		r.cCoalesced.Inc()
 		r.mu.Unlock()
 		select {
 		case <-f.done:
@@ -131,9 +149,9 @@ func (r *Registry) Get(ctx context.Context, key string, train func() (*core.Mimi
 
 	r.mu.Lock()
 	if fromDisk {
-		r.stats.DiskHits++
+		r.cDiskHits.Inc()
 	} else if err == nil {
-		r.stats.Misses++
+		r.cMisses.Inc()
 	}
 	if err == nil {
 		r.insertLocked(key, m)
@@ -171,7 +189,7 @@ func (r *Registry) insertLocked(key string, m *core.MimicModels) {
 		e := back.Value.(*regEntry)
 		r.lru.Remove(back)
 		delete(r.idx, e.key)
-		r.stats.Evictions++ // the disk copy, if any, remains
+		r.cEvictions.Inc() // the disk copy, if any, remains
 	}
 }
 
@@ -202,11 +220,7 @@ func (r *Registry) loadDisk(key string) (*core.MimicModels, bool) {
 	return m, true
 }
 
-func (r *Registry) countCorrupt() {
-	r.mu.Lock()
-	r.stats.Corrupt++
-	r.mu.Unlock()
-}
+func (r *Registry) countCorrupt() { r.cCorrupt.Inc() }
 
 // storeDisk persists via temp-file + rename so readers never observe a
 // torn write. Store failures degrade to memory-only caching.
@@ -234,8 +248,6 @@ func (r *Registry) storeDisk(key string, m *core.MimicModels) {
 		return os.Rename(tmp.Name(), r.path(key))
 	}()
 	if err != nil {
-		r.mu.Lock()
-		r.stats.StoreErrors++
-		r.mu.Unlock()
+		r.cStoreErrors.Inc()
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"mimicnet/internal/cluster"
 	"mimicnet/internal/core"
 	"mimicnet/internal/ml"
+	"mimicnet/internal/obs"
 	"mimicnet/internal/sim"
 	"mimicnet/internal/tuning"
 )
@@ -179,9 +180,18 @@ type Scheduler struct {
 	nextID   uint64
 	avgSec   float64 // EWMA of job wall-clock, for Retry-After estimates
 
-	counts struct {
-		done, failed, cancelled uint64
-	}
+	// Telemetry cells. Per-instance atomics read by both Stats() and —
+	// once ExposeTo binds them — the obs registry behind GET /metrics,
+	// so the two views can never disagree.
+	cSubmitted      obs.Counter
+	cRejectFull     obs.Counter
+	cRejectDraining obs.Counter
+	cDone           obs.Counter
+	cFailed         obs.Counter
+	cCancelled      obs.Counter
+	gRunning        obs.Gauge
+	hPhaseTrain     *obs.Histogram
+	hPhaseCompose   *obs.Histogram
 
 	wg sync.WaitGroup
 
@@ -200,10 +210,12 @@ func NewScheduler(reg *Registry, queueDepth, workers int) *Scheduler {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	s := &Scheduler{
-		reg:     reg,
-		queue:   make(chan *Job, queueDepth),
-		workers: workers,
-		jobs:    make(map[string]*Job),
+		reg:           reg,
+		queue:         make(chan *Job, queueDepth),
+		workers:       workers,
+		jobs:          make(map[string]*Job),
+		hPhaseTrain:   obs.NewHistogram(obs.TimeBuckets()),
+		hPhaseCompose: obs.NewHistogram(obs.TimeBuckets()),
 	}
 	s.runFn = s.runJob
 	s.wg.Add(workers)
@@ -246,6 +258,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	if s.draining {
 		s.mu.Unlock()
 		cancel()
+		s.cRejectDraining.Inc()
 		return nil, ErrDraining
 	}
 	s.nextID++
@@ -255,11 +268,13 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	default:
 		s.mu.Unlock()
 		cancel()
+		s.cRejectFull.Inc()
 		return nil, ErrQueueFull
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
+	s.cSubmitted.Inc()
 	return j, nil
 }
 
@@ -361,10 +376,10 @@ func (s *Scheduler) Stats() SchedulerStats {
 		QueueCapacity: capacity,
 		RetryAfterSec: s.RetryAfter(),
 	}
+	st.Done = s.cDone.Value()
+	st.Failed = s.cFailed.Value()
+	st.Cancelled = s.cCancelled.Value()
 	s.mu.Lock()
-	st.Done = s.counts.done
-	st.Failed = s.counts.failed
-	st.Cancelled = s.counts.cancelled
 	st.Draining = s.draining
 	for _, j := range s.jobs {
 		j.mu.Lock()
@@ -394,6 +409,8 @@ func (s *Scheduler) execute(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.mu.Unlock()
+	s.gRunning.Add(1)
+	defer s.gRunning.Add(-1)
 
 	ctx := j.ctx
 	if j.spec.DeadlineMs > 0 {
@@ -412,15 +429,15 @@ func (s *Scheduler) execute(j *Job) {
 }
 
 func (s *Scheduler) account(state State, dur time.Duration) {
-	s.mu.Lock()
 	switch state {
 	case StateDone:
-		s.counts.done++
+		s.cDone.Inc()
 	case StateFailed:
-		s.counts.failed++
+		s.cFailed.Inc()
 	case StateCancelled:
-		s.counts.cancelled++
+		s.cCancelled.Inc()
 	}
+	s.mu.Lock()
 	if dur > 0 {
 		if s.avgSec == 0 {
 			s.avgSec = dur.Seconds()
@@ -458,6 +475,7 @@ func (s *Scheduler) runJob(ctx context.Context, j *Job) {
 		})
 	})
 	trainDur := time.Since(t0)
+	s.hPhaseTrain.Observe(trainDur.Seconds())
 	if err != nil {
 		if ctx.Err() != nil {
 			j.finish(StateCancelled, nil, ctx.Err().Error())
@@ -485,6 +503,7 @@ func (s *Scheduler) runJob(ctx context.Context, j *Job) {
 	}
 	cancelled := comp.RunContext(ctx, j.spec.runTime())
 	composeDur := time.Since(t1)
+	s.hPhaseCompose.Observe(composeDur.Seconds())
 
 	sum := summarize(comp.Results(), comp.FlowsStarted(), comp.FlowsCompleted(),
 		trainDur, composeDur, j.spec.runTime(), hit)

@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
+
+	"mimicnet/internal/obs"
 )
 
 // Server is the JSON-over-HTTP surface of the estimation service, built
@@ -19,15 +22,25 @@ import (
 //	DELETE /v1/jobs/{id} cancel (queued or running)
 //	GET    /healthz      liveness + drain state
 //	GET    /stats        scheduler + registry counters
+//	GET    /metrics      Prometheus text exposition of the obs registry
+//	GET    /debug/pprof/ runtime profiling (CPU, heap, goroutines, trace)
 type Server struct {
 	sched *Scheduler
 	reg   *Registry
 	start time.Time
 }
 
-// NewServer wires the scheduler and registry into an HTTP API.
+// NewServer wires the scheduler and registry into an HTTP API and binds
+// their telemetry cells into the process-global obs registry, so the
+// instance behind the HTTP surface is the one /metrics reports on.
 func NewServer(sched *Scheduler, reg *Registry) *Server {
-	return &Server{sched: sched, reg: reg, start: time.Now()}
+	s := &Server{sched: sched, reg: reg, start: time.Now()}
+	sched.ExposeTo(obs.Default())
+	reg.ExposeTo(obs.Default())
+	obs.Default().GaugeFunc("mimicnet_serve_uptime_seconds",
+		"Seconds since the server was constructed.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	return s
 }
 
 // Handler returns the route table.
@@ -39,6 +52,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", obs.Default().Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

@@ -1,0 +1,67 @@
+package serve
+
+import "mimicnet/internal/obs"
+
+// The serve layer's series are per-instance cells (embedded in Scheduler
+// and Registry) rather than package globals: test binaries build many
+// schedulers and registries, and each must keep its own counts for
+// /stats. ExposeTo binds one live instance's cells into an obs registry
+// with replace semantics, so the daemon's /metrics and /stats read the
+// same atomics — one source of truth, registered last wins.
+
+// ExposeTo publishes the scheduler's counters, queue gauges, and
+// per-phase job latency histograms under the mimicnet_serve_* names.
+func (s *Scheduler) ExposeTo(r *obs.Registry) {
+	r.RegisterCounter("mimicnet_serve_jobs_submitted_total",
+		"Jobs admitted to the queue.", &s.cSubmitted)
+	r.RegisterCounter(`mimicnet_serve_jobs_rejected_total{reason="queue_full"}`,
+		"Submissions rejected at admission.", &s.cRejectFull)
+	r.RegisterCounter(`mimicnet_serve_jobs_rejected_total{reason="draining"}`,
+		"Submissions rejected at admission.", &s.cRejectDraining)
+	r.RegisterCounter(`mimicnet_serve_jobs_finished_total{state="done"}`,
+		"Jobs that reached a terminal state.", &s.cDone)
+	r.RegisterCounter(`mimicnet_serve_jobs_finished_total{state="failed"}`,
+		"Jobs that reached a terminal state.", &s.cFailed)
+	r.RegisterCounter(`mimicnet_serve_jobs_finished_total{state="cancelled"}`,
+		"Jobs that reached a terminal state.", &s.cCancelled)
+	r.RegisterGauge("mimicnet_serve_jobs_running",
+		"Jobs currently executing on the worker pool.", &s.gRunning)
+	r.GaugeFunc("mimicnet_serve_queue_depth",
+		"Jobs waiting in the admission queue.", func() float64 {
+			q, _ := s.QueueDepth()
+			return float64(q)
+		})
+	r.GaugeFunc("mimicnet_serve_queue_capacity",
+		"Admission queue bound.", func() float64 {
+			_, c := s.QueueDepth()
+			return float64(c)
+		})
+	r.RegisterHistogram(`mimicnet_serve_job_phase_seconds{phase="train"}`,
+		"Wall time of job pipeline phases.", s.hPhaseTrain)
+	r.RegisterHistogram(`mimicnet_serve_job_phase_seconds{phase="compose"}`,
+		"Wall time of job pipeline phases.", s.hPhaseCompose)
+}
+
+// ExposeTo publishes the model registry's cache counters.
+func (r *Registry) ExposeTo(or *obs.Registry) {
+	or.RegisterCounter(`mimicnet_serve_registry_lookups_total{result="mem_hit"}`,
+		"Model registry lookups by outcome.", &r.cMemHits)
+	or.RegisterCounter(`mimicnet_serve_registry_lookups_total{result="disk_hit"}`,
+		"Model registry lookups by outcome.", &r.cDiskHits)
+	or.RegisterCounter(`mimicnet_serve_registry_lookups_total{result="miss"}`,
+		"Model registry lookups by outcome.", &r.cMisses)
+	or.RegisterCounter(`mimicnet_serve_registry_lookups_total{result="coalesced"}`,
+		"Model registry lookups by outcome.", &r.cCoalesced)
+	or.RegisterCounter("mimicnet_serve_registry_corrupt_total",
+		"Corrupt on-disk model blobs discarded.", &r.cCorrupt)
+	or.RegisterCounter("mimicnet_serve_registry_evictions_total",
+		"In-memory LRU evictions.", &r.cEvictions)
+	or.RegisterCounter("mimicnet_serve_registry_store_errors_total",
+		"Failed on-disk model writes.", &r.cStoreErrors)
+	or.GaugeFunc("mimicnet_serve_registry_entries",
+		"Decoded models resident in memory.", func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return float64(r.lru.Len())
+		})
+}

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"mimicnet/internal/obs"
 )
 
 // This file implements conservative parallel discrete-event simulation
@@ -187,6 +189,13 @@ func (p *Parallel) Run(until Time) uint64 {
 		panic("sim: PDES lookahead must be positive")
 	}
 	nw := p.workers()
+	// Telemetry baselines: counters are published as deltas when the run
+	// returns, keeping the window loop free of atomics.
+	var preEvents uint64
+	for _, lp := range p.LPs {
+		preEvents += lp.Sim.Processed()
+	}
+	preBarriers, preClamps := p.Barriers, p.CausalityClamps
 	var reached Time
 	if nw <= 1 {
 		reached = p.runSequential(until)
@@ -205,6 +214,9 @@ func (p *Parallel) Run(until Time) uint64 {
 	for _, lp := range p.LPs {
 		total += lp.Sim.Processed()
 	}
+	obsEvents.Add(total - preEvents)
+	obsBarriers.Add(p.Barriers - preBarriers)
+	obsClamps.Add(p.CausalityClamps - preClamps)
 	return total
 }
 
@@ -266,9 +278,14 @@ func (p *Parallel) runParallel(until Time, nw int) Time {
 		for w := 0; w < nw; w++ {
 			ws.limit <- limit
 		}
+		var sp obs.Span
+		if p.Barriers%barrierWaitSample == 0 {
+			sp = obs.StartSpan(obsBarrierWait)
+		}
 		for w := 0; w < nw; w++ {
 			<-ws.done
 		}
+		sp.End()
 		p.Barriers++
 		if p.tickBarrier(limit) {
 			reached = limit

@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"mimicnet/internal/obs"
+)
+
+// Runtime telemetry for the PDES coordinator (obs package; DESIGN.md
+// decision 10). Counters are bumped with *deltas at window/run
+// boundaries*, never per event — the kernel's inner loop stays exactly
+// as hot as before — and barrier waits are sampled (one timing in
+// barrierWaitSample) so a microsecond-window run doesn't pay two clock
+// reads per window. Nothing here feeds back into scheduling, so
+// instrumented runs are bitwise identical to uninstrumented ones.
+var (
+	obsEvents = obs.Default().Counter("mimicnet_sim_events_total",
+		"Simulation kernel events executed (all simulators, all LPs).")
+	obsBarriers = obs.Default().Counter("mimicnet_sim_barriers_total",
+		"PDES window-barrier synchronization rounds executed.")
+	obsClamps = obs.Default().Counter("mimicnet_sim_causality_clamps_total",
+		"Remote events clamped to 'now' at a window boundary (conservative-PDES edge case).")
+	obsBarrierWait = obs.Default().Histogram("mimicnet_sim_barrier_wait_seconds",
+		"Coordinator wall time waiting on LP workers at a sampled window barrier.",
+		obs.ExpBuckets(1e-7, 4, 12))
+)
+
+// barrierWaitSample is the sampling interval for barrier-wait timings:
+// every Nth parallel window measures the gather. Power of two so the
+// modulo folds to a mask-like test.
+const barrierWaitSample = 64
+
+// CountKernelEvents adds a batch of already-executed kernel events to
+// the process-wide events counter. Single-simulator run loops
+// (cluster.Simulation, sequential compositions) call it once per
+// RunUntil with the Processed() delta; Parallel.Run does the same for
+// its LPs internally.
+func CountKernelEvents(n uint64) { obsEvents.Add(n) }

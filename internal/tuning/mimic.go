@@ -8,6 +8,7 @@ import (
 	"mimicnet/internal/cluster"
 	"mimicnet/internal/core"
 	"mimicnet/internal/metrics"
+	"mimicnet/internal/obs"
 	"mimicnet/internal/sim"
 )
 
@@ -116,6 +117,7 @@ func (v *Validator) scoreOne(mimic, truth cluster.Results) (float64, error) {
 // better). Scoring across sizes is what selects for scale-generalizable
 // models rather than merely well-fitted ones.
 func (v *Validator) Score(models *core.MimicModels) (float64, error) {
+	defer obs.StartSpan(obsPhaseValidate).End()
 	var total float64
 	for _, n := range v.Sizes {
 		cfg := v.Base

@@ -1,0 +1,11 @@
+package tuning
+
+import "mimicnet/internal/obs"
+
+// obsPhaseValidate shares the mimicnet_core_phase_seconds family with
+// the core package's datagen/train/compose spans: the default registry
+// merges series by name, so /metrics shows one histogram family with a
+// phase label covering the whole pipeline.
+var obsPhaseValidate = obs.Default().Histogram(
+	`mimicnet_core_phase_seconds{phase="validate"}`,
+	"Wall time of pipeline phases.", obs.TimeBuckets())
