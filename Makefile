@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-all bench-json bench-train bench-smoke fuzz ci serve-smoke clean
+.PHONY: build test test-race test-kernels vet bench bench-all bench-json bench-train bench-smoke fuzz ci serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -23,8 +23,23 @@ vet:
 	$(GO) vet ./...
 	GOFLAGS=-tags=purego $(GO) vet ./...
 
+# test-kernels runs the ML tests under every forced GEMM kernel family
+# (scalar, sse2, avx2 when the CPU has it) plus the purego build, so a
+# kernel can't pass CI only because it happened to be the default pick.
+# All families are bitwise identical, so the same tests must pass
+# unchanged under each.
+test-kernels:
+	MIMICNET_GEMM=scalar $(GO) test -count=1 ./internal/ml
+	MIMICNET_GEMM=sse2 $(GO) test -count=1 ./internal/ml
+	@if grep -q avx2 /proc/cpuinfo 2>/dev/null; then \
+		MIMICNET_GEMM=avx2 $(GO) test -count=1 ./internal/ml; \
+	else \
+		echo "skipping MIMICNET_GEMM=avx2 (CPU lacks AVX2)"; \
+	fi
+	GOFLAGS=-tags=purego $(GO) test -count=1 ./internal/ml
+
 # Everything the driver gates on, in one target.
-ci: vet test-race bench-smoke
+ci: vet test-race test-kernels bench-smoke
 
 # Batched vs per-packet inference cost (the ns/step metric must show the
 # batched engine at least 2x cheaper per step for B >= 16).
@@ -33,8 +48,11 @@ bench:
 
 # Sequential vs sharded composed estimate at N=8; writes machine-readable
 # ns/simulated-second, events/sec, allocs/event to BENCH_compose.json.
+# Also measures every GEMM kernel family (raw GFLOP/s, inference ns/step,
+# train samples/sec, speedups vs sse2) into BENCH_gemm.json.
 bench-json:
 	BENCH_COMPOSE_JSON=BENCH_compose.json $(GO) test -run xxx -bench BenchmarkComposedRun -benchtime 3x .
+	BENCH_GEMM_JSON=$(CURDIR)/BENCH_gemm.json $(GO) test -run xxx -bench BenchmarkGemmKernels -benchtime 2s ./internal/ml
 
 # Sequential vs minibatch training on one identical dataset; writes
 # machine-readable samples/sec, ns/sample, allocs/sample to
@@ -52,9 +70,13 @@ bench-all:
 # bench_output.txt to keep CI logs readable.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x . > bench_output.txt
+	$(GO) test -run xxx -bench BenchmarkGemmKernels -benchtime 1x ./internal/ml >> bench_output.txt
 
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzMulLanes -fuzztime 30s ./internal/ml
+	$(GO) test -run xxx -fuzz FuzzGemmKernels -fuzztime 30s ./internal/ml
+	$(GO) test -run xxx -fuzz FuzzGemmBackwardKernels -fuzztime 30s ./internal/ml
+	$(GO) test -run xxx -fuzz FuzzGateKernels -fuzztime 30s ./internal/ml
 	$(GO) test -run xxx -fuzz FuzzW1 -fuzztime 30s ./internal/metrics
 	$(GO) test -run xxx -fuzz FuzzHistogramObserve -fuzztime 30s ./internal/obs
 

@@ -270,11 +270,18 @@ func BenchmarkMimicInference(b *testing.B) {
 			xs[i] = featureVec()
 		}
 
+		// FLOP accounting: FLOPsPerStep multiply-adds per lane-step, and
+		// the weight bytes each step streams (8 bytes per multiply-add
+		// pair), so -bench output carries GFLOP/s and MB/s per mode and
+		// per GEMM kernel family (MIMICNET_GEMM selects the kernel).
+		flopStep := model.FLOPsPerStep()
+
 		b.Run(fmt.Sprintf("per-packet/B=%d", B), func(b *testing.B) {
 			sms := make([]*ml.StatefulModel, B)
 			for i := range sms {
 				sms[i] = ml.NewStatefulModel(model)
 			}
+			b.SetBytes(int64(8 * flopStep / 2 * float64(B)))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for lane := 0; lane < B; lane++ {
@@ -282,6 +289,7 @@ func BenchmarkMimicInference(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*B), "ns/step")
+			b.ReportMetric(flopStep*float64(b.N*B)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
 		})
 
 		b.Run(fmt.Sprintf("batched/B=%d", B), func(b *testing.B) {
@@ -291,11 +299,13 @@ func BenchmarkMimicInference(b *testing.B) {
 				lanes[i] = i
 			}
 			preds := make([]ml.Prediction, B)
+			b.SetBytes(int64(8 * flopStep / 2 * float64(B)))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				bat.StepLanes(lanes, xs, nil, preds)
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*B), "ns/step")
+			b.ReportMetric(flopStep*float64(b.N*B)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
 		})
 	}
 }
@@ -303,6 +313,7 @@ func BenchmarkMimicInference(b *testing.B) {
 // trainModeStats is one row of BENCH_train.json.
 type trainModeStats struct {
 	Mode          string  `json:"mode"`
+	GemmKernel    string  `json:"gemm_kernel"`
 	BatchSize     int     `json:"batch_size"`
 	Runs          int     `json:"runs"`
 	Samples       int     `json:"samples"`
@@ -366,6 +377,10 @@ func BenchmarkTrain(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			// ~forward + 2x backward over the window per sample; one
+			// iteration is a full epoch over the dataset.
+			flopSample := 3 * model.FLOPsPerStep() * float64(window)
+			b.SetBytes(int64(8 * flopSample / 2 * float64(nSamples)))
 			var ms0, ms1 runtime.MemStats
 			runtime.GC()
 			runtime.ReadMemStats(&ms0)
@@ -378,6 +393,7 @@ func BenchmarkTrain(b *testing.B) {
 			total := nSamples * b.N
 			st := trainModeStats{
 				Mode:          m.name,
+				GemmKernel:    ml.GemmKernelName(),
 				BatchSize:     m.batch,
 				Runs:          b.N,
 				Samples:       nSamples,
@@ -388,6 +404,7 @@ func BenchmarkTrain(b *testing.B) {
 			b.ReportMetric(st.SamplesPerSec, "samples/sec")
 			b.ReportMetric(st.NsPerSample, "ns/sample")
 			b.ReportMetric(st.AllocsPerSamp, "allocs/sample")
+			b.ReportMetric(flopSample*float64(total)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
 			if _, seen := report[m.name]; !seen {
 				order = append(order, m.name)
 			}

@@ -2,7 +2,6 @@ package ml
 
 import (
 	"fmt"
-	"math"
 	"sync"
 )
 
@@ -77,22 +76,34 @@ func (m *Matrix) MulLanes(r0, r1 int, xs []float64, n int, out []float64, outStr
 			return
 		}
 	}
-	// The kernel routes full 8-lane blocks through the SSE2 microkernel
-	// (gemm8) when available: lanes are repacked k-major so each packed
-	// pair of adjacent lanes advances through k with MULPD-then-ADDPD —
-	// one independent accumulator chain per lane, still in strict k
-	// order, so every output element is bitwise equal to a lone Dot.
-	// Remainder lanes (or non-amd64 builds) fall through to a pure-Go
-	// loop with 4 independent accumulators: a single Dot is one serial
-	// dependency chain and is latency-bound; multiple chains fill the
-	// FPU pipeline and reuse the weight row from registers/L1. This is
-	// where the batched engine's per-step speedup comes from on a
-	// single core.
+	// The kernel routes full lane blocks through the selected microkernel
+	// family (gemm_dispatch.go): 16-lane k-major tiles through AVX2
+	// gemm16, then 8-lane remainders through SSE2 gemm8. Packed lanes
+	// advance through k with (V)MULPD-then-(V)ADDPD — one independent
+	// accumulator chain per lane, still in strict k order, so every
+	// output element is bitwise equal to a lone Dot. Remainder lanes (or
+	// the scalar family) fall through to a pure-Go loop with 4
+	// independent accumulators: a single Dot is one serial dependency
+	// chain and is latency-bound; multiple chains fill the FPU pipeline
+	// and reuse the weight row from registers/L1. This is where the
+	// batched engine's per-step speedup comes from on a single core.
+	tileLanes := gemmKernel().tileLanes
 	kernel := func(rlo, rhi, alo, ahi int) {
 		a0 := alo
-		if haveGemm8 && K > 0 && a0+8 <= ahi {
+		if tileLanes > 0 && K > 0 && a0+8 <= ahi {
 			tp := tileScratch.Get().(*[]float64)
-			tile := growFloats(*tp, 8*K)
+			tile := growFloats(*tp, tileLanes*K)
+			if tileLanes >= 16 {
+				for ; a0+16 <= ahi; a0 += 16 {
+					for j := 0; j < 16; j++ {
+						lx := xs[(a0+j)*K : (a0+j+1)*K]
+						for k, v := range lx {
+							tile[k*16+j] = v
+						}
+					}
+					gemm16(&m.Data[rlo*K], rhi-rlo, K, &tile[0], 128, &out[a0*outStride+rlo], outStride*8)
+				}
+			}
 			for ; a0+8 <= ahi; a0 += 8 {
 				for j := 0; j < 8; j++ {
 					lx := xs[(a0+j)*K : (a0+j+1)*K]
@@ -153,8 +164,9 @@ func (m *Matrix) MulLanes(r0, r1 int, xs []float64, n int, out []float64, outStr
 	})
 }
 
-// tileScratch recycles the k-major lane tiles the gemm8 path packs;
-// tiles are small (8 × Cols) but the GEMM runs on every model step.
+// tileScratch recycles the k-major lane tiles the gemm8/gemm16 paths
+// pack; tiles are small (at most 16 × Cols) but the GEMM runs on every
+// model step.
 var tileScratch = sync.Pool{New: func() any { return new([]float64) }}
 
 // MulLanesT is the batched counterpart of MulVecT (the backprop of
@@ -184,6 +196,11 @@ func (m *Matrix) MulLanesT(r0, r1 int, dys []float64, dyStride, n int, out []flo
 	if n == 0 {
 		return
 	}
+	// The d == 0 skip must stay ahead of the axpy kernel: skipping a row
+	// is NOT the same as adding d*row when the row holds ±Inf or NaN
+	// (0*Inf = NaN), and zero gate gradients are common (saturated
+	// sigmoids), so the skip is both a correctness guard and a win.
+	useAxpy := K >= 8 && gemmKernel().axpy
 	kernel := func(alo, ahi int) {
 		for a := alo; a < ahi; a++ {
 			o := out[a*K : (a+1)*K]
@@ -196,6 +213,12 @@ func (m *Matrix) MulLanesT(r0, r1 int, dys []float64, dyStride, n int, out []flo
 					continue
 				}
 				row := m.Data[r*K : (r+1)*K][:len(o)]
+				if useAxpy {
+					// o[c] += d*row[c] elementwise — the exact scalar
+					// expression per element, just 4 lanes per instruction.
+					axpy4(&o[0], &row[0], K, d)
+					continue
+				}
 				for c, v := range row {
 					o[c] += v * d
 				}
@@ -243,12 +266,20 @@ func (m *Matrix) AddGradLanes(r0, r1 int, dys []float64, dyStride, n int, xs []f
 	if n == 0 {
 		return
 	}
+	// Same d == 0 guard as MulLanesT: it must precede the axpy call
+	// (0*Inf = NaN) and skipped lanes keep the ascending-a reduction
+	// order intact because a skipped term is an exact no-op.
+	useAxpy := K >= 8 && gemmKernel().axpy
 	kernel := func(rlo, rhi int) {
 		for r := rlo; r < rhi; r++ {
 			g := m.Grad[r*K : (r+1)*K]
 			for a := 0; a < n; a++ {
 				d := dys[a*dyStride+r]
 				if d == 0 {
+					continue
+				}
+				if useAxpy {
+					axpy4(&g[0], &xs[a*K], K, d)
 					continue
 				}
 				x := xs[a*K : (a+1)*K][:len(g)]
@@ -421,20 +452,30 @@ func (l *LSTM) StepBatch(st BatchState, lanes []int, xs []float64, hs []float64,
 	l.Wx.MulLanes(0, 4*H, xs, n, s.zx, 4*H, pool)
 	l.Wh.MulLanes(0, 4*H, s.hg, n, s.zh, 4*H, pool)
 	bias := l.B.Data
+	wide := gemmKernel().wideGates
 	pool.For(n, func(a int) {
 		zx := s.zx[a*4*H : (a+1)*4*H]
 		zh := s.zh[a*4*H : (a+1)*4*H]
 		cPrev := s.cg[a*H : (a+1)*H]
 		hRow := hs[a*H : (a+1)*H]
+		// Same association as Step: z[i] += zh[i] + B[i]. The pre-adds
+		// are hoisted out of the gate loop so the sigmoid/tanh passes
+		// run over contiguous quarters — 4 lanes per instruction when
+		// the wide gate kernels are live, the same scalar calls per
+		// element either way.
+		for j, v := range zh {
+			zx[j] += v + bias[j]
+		}
+		sigmoidLanes(zx[:2*H], zx[:2*H], wide)       // i and f (adjacent quarters)
+		tanhLanes(zx[2*H:3*H], zx[2*H:3*H], wide)    // g
+		sigmoidLanes(zx[3*H:4*H], zx[3*H:4*H], wide) // o
 		for j := 0; j < H; j++ {
-			// Same association as Step: z[i] += zh[i] + B[i].
-			i_ := Sigmoid(zx[j] + (zh[j] + bias[j]))
-			f_ := Sigmoid(zx[H+j] + (zh[H+j] + bias[H+j]))
-			g_ := math.Tanh(zx[2*H+j] + (zh[2*H+j] + bias[2*H+j]))
-			o_ := Sigmoid(zx[3*H+j] + (zh[3*H+j] + bias[3*H+j]))
-			cNew := f_*cPrev[j] + i_*g_
-			cPrev[j] = cNew
-			hRow[j] = o_ * math.Tanh(cNew)
+			// cNew = f*cPrev + i*g, exactly as Step associates it.
+			cPrev[j] = zx[H+j]*cPrev[j] + zx[j]*zx[2*H+j]
+		}
+		tanhLanes(hRow, cPrev, wide)
+		for j := 0; j < H; j++ {
+			hRow[j] = zx[3*H+j] * hRow[j]
 		}
 	})
 	for a, lane := range lanes {

@@ -1,12 +1,15 @@
-//go:build amd64
+//go:build amd64 && !purego
 
 package ml
 
-// haveGemm8 gates the SSE2 lane-batched GEMM microkernel. It vectorizes
-// over LANES, not over k: each of the 8 lanes keeps its own accumulator
-// that sums w[k]*x[k] in ascending-k order with separate multiply and
-// add instructions (MULPD then ADDPD, never FMA), so every output
-// element is bitwise identical to the scalar Dot kernel.
+// haveGemm8 gates the assembly GEMM microkernels (this file's
+// declarations). They vectorize over LANES, not over k: each lane keeps
+// its own accumulator that sums w[k]*x[k] in ascending-k order with
+// separate multiply and add instructions (MULPD/VMULPD then
+// ADDPD/VADDPD, never FMA), so every output element is bitwise identical
+// to the scalar Dot kernel. gemm8 needs only SSE2 (baseline amd64);
+// gemm16 and axpy4 need AVX2 and must only be called when the probe in
+// cpu_amd64.go reports cpuHasAVX2 (dispatch enforces this).
 const haveGemm8 = true
 
 // gemm8 computes, for 8 lanes and `rows` consecutive weight rows,
@@ -21,3 +24,39 @@ const haveGemm8 = true
 //
 //go:noescape
 func gemm8(w *float64, rows, k int, xt *float64, strideB int, out *float64, outStrideB int)
+
+// gemm16 is the AVX2 member of the family: the same contract as gemm8
+// but over a 16-lane k-major tile (element (k, lane) at byte offset
+// k*strideB + lane*8, strideB >= 128) with two-row blocking — 8 YMM
+// accumulators stay live across the k loop. Still VMULPD then VADDPD
+// per term, one accumulator component per lane: bitwise equal to Dot.
+//
+//go:noescape
+func gemm16(w *float64, rows, k int, xt *float64, strideB int, out *float64, outStrideB int)
+
+// axpy4 computes y[i] += a * x[i] for i in [0, n) with AVX2 (4 float64
+// per YMM). Purely elementwise — no reduction — so each element is the
+// exact scalar expression y[i] + a*x[i]: bitwise identical to the Go
+// loop. y and x must not partially overlap.
+//
+//go:noescape
+func axpy4(y, x *float64, n int, a float64)
+
+// sigmoid4 writes σ(src[i]) into dst[i] for 4 lanes, cloning the
+// repo's scalar Sigmoid over math.Exp's AVX+FMA variant instruction for
+// instruction (gates_amd64.s). The returned mask has bit i set when
+// lane i stayed on exp's fast path (|x| within the normal-scale range);
+// lanes with unset bits hold the ORIGINAL input value in dst, and the
+// caller must recompute them in place with the scalar Sigmoid. Requires
+// AVX2+FMA (dispatch gates on wideGates). dst and src may be the same
+// slice but must not partially overlap.
+//
+//go:noescape
+func sigmoid4(dst, src *float64) (ok uint8)
+
+// tanh4 writes math.Tanh(src[i]) into dst[i] for 4 lanes, cloning the
+// Cephes tanh (math/tanh.go) with all three branches blended by mask —
+// total over all inputs, no fallback needed. Requires AVX2+FMA.
+//
+//go:noescape
+func tanh4(dst, src *float64)

@@ -2,7 +2,10 @@
 // (one accumulator component per lane), so each output element is the
 // same ascending-k multiply-then-add chain as the scalar Dot kernel —
 // bitwise identical results. SSE2 only (baseline amd64): no FMA (would
-// change rounding), no MOVDDUP (SSE3).
+// change rounding), no MOVDDUP (SSE3). The AVX2 members of the family
+// live in gemm_avx2_amd64.s and gates_amd64.s.
+
+//go:build !purego
 
 #include "textflag.h"
 

@@ -222,22 +222,32 @@ func (g *GRU) StepBatch(st BatchState, lanes []int, xs []float64, hs []float64, 
 	g.Wx.MulLanes(0, 3*H, xs, n, s.ax, 3*H, pool)
 	g.Wh.MulLanes(0, 2*H, s.hg, n, s.ah, 2*H, pool)
 	bias := g.B.Data
+	wide := gemmKernel().wideGates
 	pool.For(n, func(a int) {
 		ax := s.ax[a*3*H : (a+1)*3*H]
 		ah := s.ah[a*2*H : (a+1)*2*H]
 		hPrev := s.hg[a*H : (a+1)*H]
 		rh := s.rh[a*H : (a+1)*H]
 		z := s.z[a*H : (a+1)*H]
+		// Pre-activations hoisted so the sigmoid passes run over
+		// contiguous ranges (4 lanes per instruction when the wide gate
+		// kernels are live); same ax + ah + bias association as StepState.
+		for j := 0; j < 2*H; j++ {
+			ax[j] = ax[j] + ah[j] + bias[j]
+		}
+		sigmoidLanes(z, ax[:H], wide)
+		sigmoidLanes(rh, ax[H:2*H], wide)
 		for j := 0; j < H; j++ {
-			z[j] = Sigmoid(ax[j] + ah[j] + bias[j])
-			r := Sigmoid(ax[H+j] + ah[H+j] + bias[H+j])
-			rh[j] = r * hPrev[j]
+			rh[j] = rh[j] * hPrev[j] // r ⊙ hPrev
 		}
 		hRow := hs[a*H : (a+1)*H]
 		for j := 0; j < H; j++ {
 			row := g.Wh.Data[(2*H+j)*H : (2*H+j+1)*H]
-			hHat := math.Tanh(DotAcc(ax[2*H+j]+bias[2*H+j], row, rh))
-			hRow[j] = (1-z[j])*hPrev[j] + z[j]*hHat
+			hRow[j] = DotAcc(ax[2*H+j]+bias[2*H+j], row, rh)
+		}
+		tanhLanes(hRow, hRow, wide)
+		for j := 0; j < H; j++ {
+			hRow[j] = (1-z[j])*hPrev[j] + z[j]*hRow[j]
 		}
 	})
 	for a, lane := range lanes {

@@ -364,21 +364,34 @@ func (t *lstmTrainLayer) forward(st, n int, xs, hs []float64) {
 	l.Wx.MulLanes(0, 4*H, xs, n, t.zx, 4*H, t.pool)
 	l.Wh.MulLanes(0, 4*H, t.h, n, t.zh, 4*H, t.pool)
 	bias := l.B.Data
+	wide := gemmKernel().wideGates
 	t.pool.For(n, func(a int) {
 		zx := t.zx[a*4*H : (a+1)*4*H]
 		zh := t.zh[a*4*H : (a+1)*4*H]
+		// Same association as Step: z[i] += zh[i] + B[i]; the gate
+		// activations land directly in the per-step caches, 4 lanes per
+		// instruction when the wide gate kernels are live.
+		for j, v := range zh {
+			zx[j] += v + bias[j]
+		}
+		ci := t.ci[base+a*H : base+(a+1)*H]
+		cf := t.cf[base+a*H : base+(a+1)*H]
+		cg := t.cg[base+a*H : base+(a+1)*H]
+		co := t.co[base+a*H : base+(a+1)*H]
+		ctc := t.ctc[base+a*H : base+(a+1)*H]
+		sigmoidLanes(ci, zx[:H], wide)
+		sigmoidLanes(cf, zx[H:2*H], wide)
+		tanhLanes(cg, zx[2*H:3*H], wide)
+		sigmoidLanes(co, zx[3*H:4*H], wide)
+		cRow := t.c[a*H : (a+1)*H]
+		hRow := hs[a*H : (a+1)*H]
 		for j := 0; j < H; j++ {
-			// Same association as Step: z[i] += zh[i] + B[i].
-			i_ := Sigmoid(zx[j] + (zh[j] + bias[j]))
-			f_ := Sigmoid(zx[H+j] + (zh[H+j] + bias[H+j]))
-			g_ := math.Tanh(zx[2*H+j] + (zh[2*H+j] + bias[2*H+j]))
-			o_ := Sigmoid(zx[3*H+j] + (zh[3*H+j] + bias[3*H+j]))
-			cNew := f_*t.c[a*H+j] + i_*g_
-			tc := math.Tanh(cNew)
-			k := base + a*H + j
-			t.ci[k], t.cf[k], t.cg[k], t.co[k], t.ctc[k] = i_, f_, g_, o_, tc
-			t.c[a*H+j] = cNew
-			hs[a*H+j] = o_ * tc
+			// cNew = f*cPrev + i*g, exactly as Step associates it.
+			cRow[j] = cf[j]*cRow[j] + ci[j]*cg[j]
+		}
+		tanhLanes(ctc, cRow, wide)
+		for j := 0; j < H; j++ {
+			hRow[j] = co[j] * ctc[j]
 		}
 	})
 	copy(t.h[:n*H], hs[:n*H])
@@ -469,15 +482,23 @@ func (t *gruTrainLayer) forward(st, n int, xs, hs []float64) {
 	g.Wx.MulLanes(0, 3*H, xs, n, t.ax, 3*H, t.pool)
 	g.Wh.MulLanes(0, 2*H, t.h, n, t.ac, 3*H, t.pool)
 	bias := g.B.Data
+	wide := gemmKernel().wideGates
 	t.pool.For(n, func(a int) {
 		ax := t.ax[a*3*H : (a+1)*3*H]
 		ac := t.ac[a*3*H : (a+1)*3*H]
+		// Same ax + ac + bias association as StepState; z and r land
+		// directly in the per-step caches.
+		for j := 0; j < 2*H; j++ {
+			ax[j] = ax[j] + ac[j] + bias[j]
+		}
+		cz := t.cz[base+a*H : base+(a+1)*H]
+		cr := t.cr[base+a*H : base+(a+1)*H]
+		crh := t.crh[base+a*H : base+(a+1)*H]
+		sigmoidLanes(cz, ax[:H], wide)
+		sigmoidLanes(cr, ax[H:2*H], wide)
+		hRow := t.h[a*H : (a+1)*H]
 		for j := 0; j < H; j++ {
-			z := Sigmoid(ax[j] + ac[j] + bias[j])
-			r := Sigmoid(ax[H+j] + ac[H+j] + bias[H+j])
-			k := base + a*H + j
-			t.cz[k], t.cr[k] = z, r
-			t.crh[k] = r * t.h[a*H+j]
+			crh[j] = cr[j] * hRow[j]
 		}
 	})
 	// Candidate recurrent pre-activation over r⊙h (must follow r).
@@ -485,11 +506,16 @@ func (t *gruTrainLayer) forward(st, n int, xs, hs []float64) {
 	t.pool.For(n, func(a int) {
 		ax := t.ax[a*3*H : (a+1)*3*H]
 		ac := t.ac[a*3*H : (a+1)*3*H]
+		chh := t.chh[base+a*H : base+(a+1)*H]
 		for j := 0; j < H; j++ {
-			k := base + a*H + j
-			hHat := math.Tanh(ax[2*H+j] + ac[2*H+j] + bias[2*H+j])
-			t.chh[k] = hHat
-			hs[a*H+j] = (1-t.cz[k])*t.h[a*H+j] + t.cz[k]*hHat
+			chh[j] = ax[2*H+j] + ac[2*H+j] + bias[2*H+j]
+		}
+		tanhLanes(chh, chh, wide)
+		cz := t.cz[base+a*H : base+(a+1)*H]
+		hRow := t.h[a*H : (a+1)*H]
+		hsRow := hs[a*H : (a+1)*H]
+		for j := 0; j < H; j++ {
+			hsRow[j] = (1-cz[j])*hRow[j] + cz[j]*chh[j]
 		}
 	})
 	copy(t.h[:n*H], hs[:n*H])
@@ -581,12 +607,14 @@ func (t *mlpTrainLayer) forward(st, n int, xs, hs []float64) {
 	}
 	t.m.W.MulLanes(0, H, t.flat, n, t.h, H, t.pool)
 	bias := t.m.B.Data
+	wide := gemmKernel().wideGates
 	t.pool.For(n, func(a int) {
+		row := t.h[a*H : (a+1)*H]
 		for j := 0; j < H; j++ {
-			v := math.Tanh(t.h[a*H+j] + bias[j])
-			t.h[a*H+j] = v
-			hs[a*H+j] = v
+			row[j] += bias[j]
 		}
+		tanhLanes(row, row, wide)
+		copy(hs[a*H:(a+1)*H], row)
 	})
 }
 

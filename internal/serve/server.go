@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"mimicnet/internal/ml"
 	"mimicnet/internal/obs"
 )
 
@@ -143,15 +144,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // StatsBody is the /stats payload.
 type StatsBody struct {
-	UptimeSec float64        `json:"uptime_sec"`
-	Scheduler SchedulerStats `json:"scheduler"`
-	Registry  RegistryStats  `json:"registry"`
+	UptimeSec float64 `json:"uptime_sec"`
+	// GemmKernel is the GEMM kernel family selected at process start
+	// (CPUID probe or MIMICNET_GEMM); all families are bitwise identical,
+	// so this affects throughput only.
+	GemmKernel string         `json:"gemm_kernel"`
+	Scheduler  SchedulerStats `json:"scheduler"`
+	Registry   RegistryStats  `json:"registry"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, StatsBody{
-		UptimeSec: time.Since(s.start).Seconds(),
-		Scheduler: s.sched.Stats(),
-		Registry:  s.reg.Stats(),
+		UptimeSec:  time.Since(s.start).Seconds(),
+		GemmKernel: ml.GemmKernelName(),
+		Scheduler:  s.sched.Stats(),
+		Registry:   s.reg.Stats(),
 	})
 }
