@@ -15,17 +15,26 @@
 // SIGTERM/SIGINT drain gracefully: new submissions are rejected, queued
 // and running jobs finish, then the process exits.
 //
+// With -data-dir the daemon is durable: accepted jobs are written to an
+// append-only journal, training progress is checkpointed at epoch
+// boundaries, and the model registry shares the same root. After a
+// crash or kill -9, the next boot replays the journal, re-enqueues
+// unfinished jobs under their original IDs, and resumes their training
+// from the last checkpoint — producing artifacts bitwise identical to
+// an uninterrupted run.
+//
 // Example:
 //
-//	mimicnetd -addr 127.0.0.1:9090 -store /var/lib/mimicnet/models
+//	mimicnetd -addr 127.0.0.1:9090 -data-dir /var/lib/mimicnet
 //	curl -s -X POST localhost:9090/v1/jobs -d '{"clusters": 32}'
 //	mimicnet -server http://127.0.0.1:9090 -clusters 32
 //
 // The -smoke flag runs the self-test used by `make serve-smoke`: boot on
 // a random port, run a cold job, prove the identical warm job skips
 // training via the registry, measure cold/warm latency and warm
-// throughput (written to -bench-json), then SIGTERM itself mid-job to
-// verify the drain contract.
+// throughput (written to -bench-json), kill a durable daemon mid-train
+// and prove the rebuilt daemon resumes the job from its checkpoint, then
+// SIGTERM itself mid-job to verify the drain contract.
 package main
 
 import (
@@ -47,8 +56,10 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:9090", "listen address")
-		store        = flag.String("store", defaultStore(), "on-disk model registry directory")
+		store        = flag.String("store", defaultStore(), "on-disk model registry directory (ignored when -data-dir is set)")
+		dataDir      = flag.String("data-dir", "", "durable state root: job journal, training checkpoints, and model registry live under it; jobs survive restarts (empty = in-memory jobs)")
 		memCache     = flag.Int("mem-cache", 8, "decoded models held in the in-memory LRU")
+		ckptEvery    = flag.Int("ckpt-every", 0, "epochs between training checkpoints under -data-dir (<=0 = every epoch, cost-throttled)")
 		queueDepth   = flag.Int("queue", 64, "job queue capacity (admission control bound)")
 		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "max wait for in-flight jobs on shutdown")
@@ -65,12 +76,16 @@ func main() {
 		return
 	}
 
-	d, err := newDaemon(*addr, *store, *memCache, *queueDepth, *workers, *drainTimeout)
+	d, err := newDaemon(*addr, *store, *dataDir, *memCache, *queueDepth, *workers, *ckptEvery, *drainTimeout)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("mimicnetd listening on %s (registry %s, queue %d, workers %d)",
-		d.URL(), *store, *queueDepth, d.sched.Workers())
+	durability := "in-memory jobs"
+	if *dataDir != "" {
+		durability = "data-dir " + *dataDir
+	}
+	log.Printf("mimicnetd listening on %s (%s, queue %d, workers %d)",
+		d.URL(), durability, *queueDepth, d.sched.Workers())
 	d.Serve()
 	log.Printf("mimicnetd drained, exiting")
 }
@@ -93,14 +108,39 @@ type daemon struct {
 	done         chan struct{} // closed once Serve has fully drained
 }
 
-func newDaemon(addr, store string, memCache, queueDepth, workers int, drainTimeout time.Duration) (*daemon, error) {
+// newDaemon assembles the serve stack. A non-empty dataDir makes the
+// daemon durable: the model registry moves to <dataDir>/registry, job
+// state is journaled under <dataDir>/journal, and training cursors land
+// in <dataDir>/ckpt — on boot, journaled unfinished jobs are re-enqueued
+// and resume from their checkpoints.
+func newDaemon(addr, store, dataDir string, memCache, queueDepth, workers, ckptEvery int, drainTimeout time.Duration) (*daemon, error) {
+	if dataDir != "" {
+		store = filepath.Join(dataDir, "registry")
+	}
 	reg, err := serve.NewRegistry(store, memCache)
 	if err != nil {
 		return nil, err
 	}
-	sched := serve.NewScheduler(reg, queueDepth, workers)
+	var sched *serve.Scheduler
+	if dataDir != "" {
+		var rep *serve.RecoveryReport
+		sched, rep, err = serve.NewSchedulerWithOptions(reg, serve.SchedulerOptions{
+			QueueDepth:      queueDepth,
+			Workers:         workers,
+			JournalDir:      filepath.Join(dataDir, "journal"),
+			CheckpointDir:   filepath.Join(dataDir, "ckpt"),
+			CheckpointEvery: ckptEvery,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mimicnetd: journal recovery: %w", err)
+		}
+		log.Printf("mimicnetd: recovery: %s", rep)
+	} else {
+		sched = serve.NewScheduler(reg, queueDepth, workers)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		sched.Kill()
 		return nil, err
 	}
 	return &daemon{
@@ -138,6 +178,11 @@ func (d *daemon) Serve() {
 	defer cancel()
 	if err := d.sched.Drain(drainCtx); err != nil {
 		log.Printf("mimicnetd: drain incomplete: %v", err)
+	}
+	// Compact and release the journal: the next boot replays a snapshot
+	// of terminal states instead of the full record history.
+	if err := d.sched.Close(); err != nil {
+		log.Printf("mimicnetd: journal close: %v", err)
 	}
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -36,6 +37,89 @@ type smokeBench struct {
 	RegistryMisses uint64  `json:"registry_misses"`
 }
 
+// smokeRecovery is smoke phase 4: the kill-and-resume drill against the
+// durable daemon stack. A -data-dir daemon is killed mid-train (after at
+// least one epoch-boundary checkpoint has landed on disk), then a
+// successor daemon over the same directories must recover the job from
+// the journal, resume its training from the checkpoint, and store the
+// finished artifact.
+func smokeRecovery(ctx context.Context, queueDepth, workers int, drainTimeout time.Duration) error {
+	dataDir, err := os.MkdirTemp("", "mimicnet-smoke-durable-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+
+	// Enough epochs that the kill lands mid-train; the thumbnail model
+	// checkpoints at every epoch boundary (the cost throttle always
+	// persists the first cut).
+	spec := smokeSpec()
+	spec.Epochs = 40
+
+	d1, err := newDaemon("127.0.0.1:0", "", dataDir, 8, queueDepth, workers, 0, drainTimeout)
+	if err != nil {
+		return err
+	}
+	defer d1.ln.Close()
+	j1, err := d1.sched.Submit(spec)
+	if err != nil {
+		return err
+	}
+	for {
+		if tp := j1.Status().Progress.Train; tp != nil && tp.Epoch >= 2 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("job %s never reported training progress", j1.ID())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	d1.sched.Kill()
+	select {
+	case <-j1.Done():
+	case <-ctx.Done():
+		return fmt.Errorf("killed job never wound down")
+	}
+	ckpts, _ := filepath.Glob(filepath.Join(dataDir, "ckpt", "*.ckpt"))
+	if len(ckpts) == 0 {
+		return fmt.Errorf("kill left no training checkpoints under %s", dataDir)
+	}
+	key := j1.Status().ModelKey
+	if d1.reg.Contains(key) {
+		return fmt.Errorf("killed job cached a finished artifact")
+	}
+
+	// Successor over the same directories: newDaemon's recovery pass
+	// re-enqueues the journaled job under its original ID.
+	d2, err := newDaemon("127.0.0.1:0", "", dataDir, 8, queueDepth, workers, 0, drainTimeout)
+	if err != nil {
+		return err
+	}
+	defer d2.ln.Close()
+	j2, err := d2.sched.Job(j1.ID())
+	if err != nil {
+		return fmt.Errorf("journaled job lost in recovery: %w", err)
+	}
+	select {
+	case <-j2.Done():
+	case <-ctx.Done():
+		return fmt.Errorf("recovered job never finished")
+	}
+	if st := j2.Status(); st.State != serve.StateDone || st.Result == nil || st.Result.Cancelled {
+		return fmt.Errorf("recovered job ended state=%s result=%+v", st.State, st.Result)
+	}
+	if !d2.reg.Contains(key) {
+		return fmt.Errorf("recovered job's artifact missing from the registry")
+	}
+	if err := d2.sched.Close(); err != nil {
+		return err
+	}
+	log.Printf("smoke: crash recovery ok — job %s killed mid-train (%d checkpoint files on disk), resumed and finished by the rebuilt daemon",
+		j1.ID(), len(ckpts))
+	return nil
+}
+
 // runSmoke is the serve-smoke acceptance test, against the real daemon
 // stack (real listener, real signal handling):
 //
@@ -43,9 +127,13 @@ type smokeBench struct {
 //  2. the identical job resubmitted is a registry hit visible in /stats,
 //     with a bitwise-identical estimate;
 //  3. a batch of warm jobs measures steady-state throughput;
-//  4. SIGTERM mid-job drains: the in-flight job finishes (not
+//  4. a durable daemon (-data-dir wiring) is killed mid-train after at
+//     least one checkpoint write; a daemon rebuilt on the same
+//     directories re-enqueues the job from the journal, resumes it from
+//     the checkpoint, and lands the artifact in the registry;
+//  5. SIGTERM mid-job drains: the in-flight job finishes (not
 //     cancelled), new submissions are rejected, the process-level serve
-//     loop returns.
+//     loop returns. (Last: it signals the whole process.)
 func runSmoke(queueDepth, workers int, drainTimeout time.Duration, benchPath string) error {
 	store, err := os.MkdirTemp("", "mimicnet-smoke-registry-")
 	if err != nil {
@@ -53,7 +141,7 @@ func runSmoke(queueDepth, workers int, drainTimeout time.Duration, benchPath str
 	}
 	defer os.RemoveAll(store)
 
-	d, err := newDaemon("127.0.0.1:0", store, 8, queueDepth, workers, drainTimeout)
+	d, err := newDaemon("127.0.0.1:0", store, "", 8, queueDepth, workers, 0, drainTimeout)
 	if err != nil {
 		return err
 	}
@@ -162,7 +250,17 @@ func runSmoke(queueDepth, workers int, drainTimeout time.Duration, benchPath str
 	jobsPerSec := float64(batch) / batchDur.Seconds()
 	log.Printf("smoke: %d warm jobs in %v (%.1f jobs/sec)", batch, batchDur.Round(time.Millisecond), jobsPerSec)
 
-	// 4. Drain: SIGTERM ourselves mid-job through the real signal path.
+	// 4. Crash recovery: a durable daemon killed mid-train must leave a
+	// journal entry and a training checkpoint behind, and a successor on
+	// the same -data-dir must finish the job. Runs against an isolated
+	// daemon (no Serve loop — the SIGTERM below must only hit the main
+	// one) with direct scheduler handles, the same wiring newDaemon gives
+	// the production path.
+	if err := smokeRecovery(ctx, queueDepth, workers, drainTimeout); err != nil {
+		return fmt.Errorf("crash recovery: %w", err)
+	}
+
+	// 5. Drain: SIGTERM ourselves mid-job through the real signal path.
 	// A long-horizon job: flows keep arriving for the whole run so the
 	// compose phase holds real wall-clock time for the signal to land in.
 	long := smokeSpec()

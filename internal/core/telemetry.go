@@ -22,4 +22,7 @@ var (
 		"Batched inference scheduler flush events.")
 	obsInferSteps = obs.Default().Counter("mimicnet_core_inference_steps_total",
 		"Model steps issued through fused batched-inference calls.")
+
+	obsCkptResumes = obs.Default().Counter("mimicnet_core_train_resumes_total",
+		"Direction trainings resumed from a durable checkpoint instead of scratch.")
 )

@@ -48,6 +48,12 @@ func TrainDirection(ds *Dataset, cfg TrainConfig) (*DirectionModel, ml.EvalResul
 // progress streaming. On cancellation the partially trained model is
 // discarded and ctx's error returned.
 func TrainDirectionContext(ctx context.Context, ds *Dataset, cfg TrainConfig, progress TrainProgressFunc) (*DirectionModel, ml.EvalResult, error) {
+	return trainDirection(ctx, ds, cfg, progress, nil)
+}
+
+// trainDirection is the shared implementation behind
+// TrainDirectionContext (ckpt == nil) and TrainDirectionCkpt.
+func trainDirection(ctx context.Context, ds *Dataset, cfg TrainConfig, progress TrainProgressFunc, ckpt *TrainCheckpointer) (*DirectionModel, ml.EvalResult, error) {
 	if len(ds.Samples) == 0 {
 		return nil, ml.EvalResult{}, fmt.Errorf("core: %v dataset is empty", ds.Dir)
 	}
@@ -64,8 +70,25 @@ func TrainDirectionContext(ctx context.Context, ds *Dataset, cfg TrainConfig, pr
 		dir := ds.Dir
 		opts.Progress = func(p ml.TrainProgress) { progress(dir, p) }
 	}
-	if _, err := model.TrainContext(ctx, train, opts); err != nil {
-		return nil, ml.EvalResult{}, err
+	waitCkpt := func() error { return nil }
+	if ckpt != nil {
+		ck, err := ckpt.Load(ds.Dir)
+		if err != nil {
+			return nil, ml.EvalResult{}, err
+		}
+		if resumable(ck, mcfg, len(train)) {
+			opts.ResumeFrom = ck
+			obsCkptResumes.Inc()
+		}
+		opts.CheckpointEvery = ckpt.every()
+		opts.SaveCheckpoint, waitCkpt = ckpt.AsyncSaver(ds.Dir)
+	}
+	_, trainErr := model.TrainContext(ctx, train, opts)
+	if werr := waitCkpt(); trainErr == nil {
+		trainErr = werr
+	}
+	if trainErr != nil {
+		return nil, ml.EvalResult{}, trainErr
 	}
 	eval := model.Evaluate(test)
 
@@ -170,29 +193,5 @@ func TrainModels(ing, eg *Dataset, cfg TrainConfig) (*MimicModels, ml.EvalResult
 // progress, when non-nil, receives interleaved per-epoch reports tagged
 // by direction.
 func TrainModelsContext(ctx context.Context, ing, eg *Dataset, cfg TrainConfig, progress TrainProgressFunc) (*MimicModels, ml.EvalResult, ml.EvalResult, error) {
-	defer obs.StartSpan(obsPhaseTrain).End()
-	var (
-		egModel *DirectionModel
-		egEval  ml.EvalResult
-		egErr   error
-		done    = make(chan struct{})
-	)
-	go func() {
-		defer close(done)
-		egModel, egEval, egErr = TrainDirectionContext(ctx, eg, cfg, progress)
-	}()
-	ingModel, ingEval, ingErr := TrainDirectionContext(ctx, ing, cfg, progress)
-	<-done
-	if ingErr != nil {
-		return nil, ml.EvalResult{}, ml.EvalResult{}, ingErr
-	}
-	if egErr != nil {
-		return nil, ml.EvalResult{}, ml.EvalResult{}, egErr
-	}
-	return &MimicModels{
-		Spec:    ing.Spec,
-		Window:  cfg.Dataset.Window,
-		Ingress: ingModel,
-		Egress:  egModel,
-	}, ingEval, egEval, nil
+	return TrainModelsCkpt(ctx, ing, eg, cfg, progress, nil)
 }

@@ -1,0 +1,38 @@
+package durable
+
+import "mimicnet/internal/obs"
+
+// Durability telemetry (obs package; DESIGN.md decision 10): the cost of
+// persistence must be visible on /metrics before anyone trusts it in a
+// hot path. Cells are process-global — journals and checkpoint stores
+// are few (one per daemon) and their counters are meaningful in
+// aggregate.
+var (
+	obsJournalAppends = obs.Default().Counter("mimicnet_durable_journal_appends_total",
+		"Records appended to write-ahead journals.")
+	obsJournalBytes = obs.Default().Counter("mimicnet_durable_journal_bytes_total",
+		"Framed bytes appended to write-ahead journals.")
+	obsJournalReplayed = obs.Default().Counter("mimicnet_durable_journal_replayed_total",
+		"Records recovered by journal replay at open.")
+	obsJournalTorn = obs.Default().Counter("mimicnet_durable_journal_torn_total",
+		"Journal tails clipped at an invalid frame during recovery.")
+	obsJournalFsync = obs.Default().Histogram("mimicnet_durable_journal_fsync_seconds",
+		"Wall time of journal fsync batches.", obs.ExpBuckets(1e-6, 4, 12))
+	obsSnapshots = obs.Default().Counter("mimicnet_durable_snapshots_total",
+		"Journal snapshot+compact cycles completed.")
+	obsSnapshotBytes = obs.Default().Counter("mimicnet_durable_snapshot_bytes_total",
+		"State bytes written by journal snapshots.")
+	obsCkptWrites = obs.Default().Counter("mimicnet_durable_ckpt_writes_total",
+		"Training checkpoints written.")
+	obsCkptBytes = obs.Default().Counter("mimicnet_durable_ckpt_bytes_total",
+		"Payload bytes written to training checkpoints.")
+	obsCkptRestores = obs.Default().Counter("mimicnet_durable_ckpt_restores_total",
+		"Training checkpoints successfully read back.")
+	obsCkptCorrupt = obs.Default().Counter("mimicnet_durable_ckpt_corrupt_total",
+		"Checkpoint reads rejected by framing or CRC validation.")
+	obsCkptWrite = obs.Default().Histogram("mimicnet_durable_ckpt_write_seconds",
+		"Wall time of one checkpoint write (serialize + fsync + rename).",
+		obs.ExpBuckets(1e-6, 4, 12))
+)
+
+func obsStartSpan(h *obs.Histogram) obs.Span { return obs.StartSpan(h) }

@@ -1,0 +1,191 @@
+package ml
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// trainToCompletion runs a full TrainContext on a fresh model and
+// returns its serialized bytes plus every checkpoint cut along the way.
+func trainToCompletion(t *testing.T, cfg ModelConfig, samples []Sample) ([]byte, []*TrainCheckpoint) {
+	t.Helper()
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cks []*TrainCheckpoint
+	_, err = m.TrainContext(context.Background(), samples, TrainOpts{
+		CheckpointEvery: 1,
+		SaveCheckpoint:  func(ck *TrainCheckpoint) error { cks = append(cks, ck); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, cks
+}
+
+// TestTrainResumeBitwiseIdentical is the determinism contract of
+// DESIGN.md decision 12: resuming a fresh model from any epoch-boundary
+// checkpoint and training to completion yields bytes identical to the
+// uninterrupted run — for every trunk class.
+func TestTrainResumeBitwiseIdentical(t *testing.T) {
+	for name, cfg := range cellConfigs() {
+		t.Run(name, func(t *testing.T) {
+			samples := synthSamples(40, cfg.Features, cfg.Window, 91)
+			want, cks := trainToCompletion(t, cfg, samples)
+			if len(cks) != cfg.Epochs {
+				t.Fatalf("got %d checkpoints, want %d", len(cks), cfg.Epochs)
+			}
+			for _, ck := range cks {
+				m2, err := NewModel(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m2.TrainContext(context.Background(), samples, TrainOpts{ResumeFrom: ck}); err != nil {
+					t.Fatalf("resume from epoch %d: %v", ck.Epoch, err)
+				}
+				got, err := json.Marshal(m2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("resume from epoch %d diverged from uninterrupted run", ck.Epoch)
+				}
+			}
+			if last := cks[len(cks)-1]; !last.Complete() {
+				t.Fatalf("final checkpoint (epoch %d/%d) not Complete", last.Epoch, cfg.Epochs)
+			}
+		})
+	}
+}
+
+// TestTrainResumeAfterCancel models the real crash path: training is
+// cancelled mid-run after a checkpoint was cut, then a fresh model
+// resumes from the newest checkpoint and must converge to the same
+// bytes as a run that was never interrupted.
+func TestTrainResumeAfterCancel(t *testing.T) {
+	cfg := cellConfigs()["lstm"]
+	samples := synthSamples(40, cfg.Features, cfg.Window, 92)
+	want, _ := trainToCompletion(t, cfg, samples)
+
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var latest *TrainCheckpoint
+	_, err = m.TrainContext(ctx, samples, TrainOpts{
+		CheckpointEvery: 1,
+		SaveCheckpoint:  func(ck *TrainCheckpoint) error { latest = ck; return nil },
+		Progress: func(p TrainProgress) {
+			if p.Epoch == 2 {
+				cancel() // "kill" after two epochs; next batch observes it
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled training returned nil error")
+	}
+	if latest == nil || latest.Epoch != 2 {
+		t.Fatalf("latest checkpoint = %+v, want epoch 2", latest)
+	}
+
+	// Round-trip the checkpoint through JSON, as the durable layer does:
+	// float64s must survive bit-exactly.
+	blob, err := json.Marshal(latest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded TrainCheckpoint
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.TrainContext(context.Background(), samples, TrainOpts{ResumeFrom: &decoded}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resume after cancel diverged from uninterrupted run")
+	}
+}
+
+// TestTrainResumeFromCompleteCheckpoint: a finished direction restores
+// instantly (zero epochs run) and reproduces the final bytes.
+func TestTrainResumeFromCompleteCheckpoint(t *testing.T) {
+	cfg := cellConfigs()["gru"]
+	samples := synthSamples(24, cfg.Features, cfg.Window, 93)
+	want, cks := trainToCompletion(t, cfg, samples)
+	final := cks[len(cks)-1]
+
+	m2, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochsRun := 0
+	res, err := m2.TrainContext(context.Background(), samples, TrainOpts{
+		ResumeFrom: final,
+		Progress:   func(TrainProgress) { epochsRun++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochsRun != 0 {
+		t.Fatalf("complete checkpoint still ran %d epochs", epochsRun)
+	}
+	if len(res.EpochLoss) != cfg.Epochs {
+		t.Fatalf("restored result has %d epoch losses, want %d", len(res.EpochLoss), cfg.Epochs)
+	}
+	got, err := json.Marshal(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("complete-checkpoint restore diverged")
+	}
+}
+
+// TestTrainResumeValidation: mismatched configs or sample counts must be
+// rejected loudly rather than silently diverging.
+func TestTrainResumeValidation(t *testing.T) {
+	cfg := cellConfigs()["mlp"]
+	samples := synthSamples(16, cfg.Features, cfg.Window, 94)
+	_, cks := trainToCompletion(t, cfg, samples)
+	ck := cks[0]
+
+	other := cfg
+	other.Hidden++
+	m, err := NewModel(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TrainContext(context.Background(), samples, TrainOpts{ResumeFrom: ck}); err == nil {
+		t.Fatal("config mismatch accepted")
+	}
+
+	m2, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.TrainContext(context.Background(), samples[:8], TrainOpts{ResumeFrom: ck}); err == nil {
+		t.Fatal("sample-count mismatch accepted")
+	}
+
+	if _, err := m2.FineTuneContext(context.Background(), samples, 1, 0, TrainOpts{ResumeFrom: ck}); err == nil {
+		t.Fatal("fine-tune accepted a checkpoint")
+	}
+}

@@ -2,9 +2,13 @@ package ml
 
 import (
 	"context"
+	"errors"
 
 	"mimicnet/internal/stats"
 )
+
+// errFineTuneCheckpoint rejects checkpoint options on the fine-tune path.
+var errFineTuneCheckpoint = errors.New("ml: checkpointing is only supported for TrainContext, not fine-tuning")
 
 // FineTune continues training an already-fitted model on new samples —
 // the incremental model update MimicNet's future work calls for (paper
@@ -20,6 +24,12 @@ func (m *Model) FineTune(samples []Sample, epochs int, lr float64) TrainResult {
 // FineTuneContext is FineTune with cancellation and progress reporting,
 // sharing the batch-size-selected trainer with TrainContext.
 func (m *Model) FineTuneContext(ctx context.Context, samples []Sample, epochs int, lr float64, opts TrainOpts) (TrainResult, error) {
+	if opts.ResumeFrom != nil || opts.SaveCheckpoint != nil {
+		// Checkpoint cursors are scoped to TrainContext: they embed the
+		// model's own config (epochs, LR, seed), which fine-tuning
+		// overrides, so a resume here would silently diverge.
+		return TrainResult{Samples: len(samples)}, errFineTuneCheckpoint
+	}
 	if epochs < 1 {
 		epochs = 1
 	}

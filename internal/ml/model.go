@@ -232,8 +232,19 @@ func (m *Model) Train(samples []Sample) TrainResult {
 // never left mid-update; pending gradients are dropped), in which case
 // the partial result and ctx's error are returned. opts.Progress, when
 // non-nil, receives one report per finished epoch.
+//
+// When opts.ResumeFrom carries a checkpoint, weights, optimizer moments,
+// shuffle permutation, and RNG position are restored first and training
+// continues at the checkpoint's epoch cursor; the final model is bitwise
+// identical to an uninterrupted run with the same config and samples.
 func (m *Model) TrainContext(ctx context.Context, samples []Sample, opts TrainOpts) (TrainResult, error) {
 	rng := stats.NewStream(m.Cfg.Seed + 1)
+	if ck := opts.ResumeFrom; ck != nil {
+		if err := m.restoreCheckpoint(ck, len(samples)); err != nil {
+			return TrainResult{Samples: len(samples)}, err
+		}
+		rng = stats.RestoreStream(ck.RNG)
+	}
 	return m.fit(ctx, m.Cfg.LR, rng, samples, m.Cfg.Epochs, opts)
 }
 

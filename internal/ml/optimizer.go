@@ -1,6 +1,9 @@
 package ml
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Optimizer applies accumulated gradients to parameters.
 type Optimizer interface {
@@ -52,6 +55,63 @@ func NewAdam(lr float64) *Adam {
 		m: make(map[*Matrix][]float64),
 		v: make(map[*Matrix][]float64),
 	}
+}
+
+// AdamState is the serializable optimizer trajectory: the step counter
+// plus first/second moment estimates in parameter order. Adam's update
+// depends on all three, so resuming training without them would diverge
+// from the uninterrupted run at the first post-resume step.
+type AdamState struct {
+	T int         `json:"t"`
+	M [][]float64 `json:"m"` // indexed like the params slice
+	V [][]float64 `json:"v"`
+}
+
+// State deep-copies the optimizer's moments for the given parameters
+// (in order). Parameters the optimizer has not touched yet snapshot as
+// zero moments — exactly what lazy allocation would produce.
+func (o *Adam) State(params []*Matrix) AdamState {
+	st := AdamState{T: o.t, M: make([][]float64, len(params)), V: make([][]float64, len(params))}
+	for i, p := range params {
+		st.M[i] = append([]float64(nil), o.m[p]...)
+		st.V[i] = append([]float64(nil), o.v[p]...)
+		if st.M[i] == nil {
+			st.M[i] = make([]float64, len(p.Data))
+			st.V[i] = make([]float64, len(p.Data))
+		}
+	}
+	return st
+}
+
+// SetState restores a snapshot taken by State over the same parameter
+// list. The slices are copied in, so the checkpoint stays immutable.
+func (o *Adam) SetState(params []*Matrix, st AdamState) error {
+	if err := st.validate(params); err != nil {
+		return err
+	}
+	o.t = st.T
+	for i, p := range params {
+		o.m[p] = append([]float64(nil), st.M[i]...)
+		o.v[p] = append([]float64(nil), st.V[i]...)
+	}
+	return nil
+}
+
+func (st AdamState) validate(params []*Matrix) error {
+	if len(st.M) != len(params) || len(st.V) != len(params) {
+		return fmt.Errorf("ml: adam state covers %d/%d tensors, model has %d",
+			len(st.M), len(st.V), len(params))
+	}
+	for i, p := range params {
+		if len(st.M[i]) != len(p.Data) || len(st.V[i]) != len(p.Data) {
+			return fmt.Errorf("ml: adam state tensor %d sized %d/%d, model wants %d",
+				i, len(st.M[i]), len(st.V[i]), len(p.Data))
+		}
+	}
+	if st.T < 0 {
+		return fmt.Errorf("ml: adam state has negative step counter %d", st.T)
+	}
+	return nil
 }
 
 // Step applies one update and zeroes gradients.

@@ -2,6 +2,7 @@ package ml
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"time"
 
@@ -52,6 +53,19 @@ type TrainOpts struct {
 	Progress func(TrainProgress)
 	// Pool supplies the GEMM worker pool; nil means SharedPool().
 	Pool *Pool
+
+	// CheckpointEvery, when positive together with SaveCheckpoint, emits
+	// a resumable cursor every N completed epochs and always after the
+	// final one (so a finished direction restores instantly).
+	CheckpointEvery int
+	// SaveCheckpoint persists one cursor. A save error aborts training:
+	// a caller asking for durability must not silently lose it.
+	SaveCheckpoint func(*TrainCheckpoint) error
+	// ResumeFrom, when non-nil, restores weights, optimizer moments,
+	// shuffle permutation, and RNG position before the first epoch, then
+	// continues at ResumeFrom.Epoch. The resumed run is bitwise
+	// identical to one that was never interrupted.
+	ResumeFrom *TrainCheckpoint
 }
 
 // fit is the shared training loop behind Train/TrainContext/FineTune:
@@ -87,7 +101,21 @@ func (m *Model) fit(ctx context.Context, lr float64, rng *stats.Stream, samples 
 	for i := range idx {
 		idx[i] = i
 	}
-	for epoch := 0; epoch < epochs; epoch++ {
+	startEpoch := 0
+	if ck := opts.ResumeFrom; ck != nil {
+		// Weights were restored by TrainContext; rebuild the loop-local
+		// state here so the continuation replays the exact trajectory.
+		if ck.Epoch > epochs {
+			return res, fmt.Errorf("ml: resume epoch %d beyond %d", ck.Epoch, epochs)
+		}
+		copy(idx, ck.Idx)
+		if err := opt.SetState(params, ck.Opt); err != nil {
+			return res, err
+		}
+		res.EpochLoss = append(res.EpochLoss, ck.EpochLoss...)
+		startEpoch = ck.Epoch
+	}
+	for epoch := startEpoch; epoch < epochs; epoch++ {
 		start := time.Now()
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		var sum float64
@@ -127,6 +155,13 @@ func (m *Model) fit(ctx context.Context, lr float64, rng *stats.Stream, samples 
 					Epoch: epoch + 1, Epochs: epochs, Loss: loss,
 					Samples: len(samples), SamplesPerSec: sps, BatchSize: B,
 				})
+			}
+			if done := epoch + 1; opts.SaveCheckpoint != nil && opts.CheckpointEvery > 0 &&
+				(done%opts.CheckpointEvery == 0 || done == epochs) {
+				ck := m.captureCheckpoint(done, len(samples), rng, idx, opt, res.EpochLoss)
+				if err := opts.SaveCheckpoint(ck); err != nil {
+					return res, fmt.Errorf("ml: checkpoint save at epoch %d: %w", done, err)
+				}
 			}
 		}
 	}

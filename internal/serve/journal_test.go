@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// durableStub is the journal tests' job executor: blocks until the job's
+// context dies (→ cancelled) or a token arrives on release (→ done).
+func durableStub(release chan struct{}) func(ctx context.Context, j *Job) {
+	return func(ctx context.Context, j *Job) {
+		select {
+		case <-ctx.Done():
+			j.finish(StateCancelled, nil, ctx.Err().Error())
+		case <-release:
+			j.finish(StateDone, &Summary{FlowsStarted: 7}, "")
+		}
+	}
+}
+
+// TestSchedulerJournalRecovery kills a journaled scheduler with jobs in
+// every state and rebuilds from the same directory: terminal jobs stay
+// queryable, unfinished jobs are re-enqueued (growing the queue past its
+// configured depth), IDs continue from where they left off.
+func TestSchedulerJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := NewRegistry("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	s1, rep, err := NewSchedulerWithOptions(reg, SchedulerOptions{
+		QueueDepth: 4, Workers: 1, JournalDir: dir, runFn: durableStub(release),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Jobs != 0 || rep.Requeued != 0 {
+		t.Fatalf("fresh journal recovered %+v", rep)
+	}
+
+	finished, err := s1.Submit(JobSpec{Clusters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, finished, StateRunning)
+	release <- struct{}{}
+	waitState(t, finished, StateDone)
+
+	running, err := s1.Submit(JobSpec{Clusters: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, running, StateRunning)
+	queued, err := s1.Submit(JobSpec{Clusters: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash. The in-flight and queued jobs die without terminal records.
+	s1.Kill()
+	<-running.Done()
+	<-queued.Done()
+
+	// Rebirth from the same directory, with a deliberately undersized
+	// queue: recovery must grow it to fit the backlog.
+	release2 := make(chan struct{}, 2)
+	release2 <- struct{}{}
+	release2 <- struct{}{}
+	s2, rep2, err := NewSchedulerWithOptions(reg, SchedulerOptions{
+		QueueDepth: 1, Workers: 1, JournalDir: dir, runFn: durableStub(release2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Jobs != 3 || rep2.Completed != 1 || rep2.Requeued != 2 {
+		t.Fatalf("recovery report = %+v", rep2)
+	}
+
+	// The finished job survived with its result intact.
+	done2, err := s2.Job(finished.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := done2.Status()
+	if st.State != StateDone || st.Result == nil || st.Result.FlowsStarted != 7 {
+		t.Fatalf("recovered terminal job = %+v", st)
+	}
+
+	// The interrupted jobs re-execute to completion under the same IDs.
+	for _, id := range []string{running.ID(), queued.ID()} {
+		j, err := s2.Job(id)
+		if err != nil {
+			t.Fatalf("job %s lost in recovery: %v", id, err)
+		}
+		waitState(t, j, StateDone)
+	}
+
+	// IDs continue past the recovered maximum.
+	release2 <- struct{}{}
+	fresh, err := s2.Submit(JobSpec{Clusters: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID() != "j000004" {
+		t.Fatalf("post-recovery ID = %s, want j000004", fresh.ID())
+	}
+	waitState(t, fresh, StateDone)
+
+	// Orderly shutdown compacts; a third boot replays only the snapshot.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s2.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, rep3, err := NewSchedulerWithOptions(reg, SchedulerOptions{
+		QueueDepth: 4, Workers: 1, JournalDir: dir, runFn: durableStub(nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Jobs != 4 || rep3.Requeued != 0 || rep3.Completed != 4 || rep3.Replayed != 0 {
+		t.Fatalf("post-compaction recovery = %+v", rep3)
+	}
+	if len(s3.Jobs()) != 4 {
+		t.Fatalf("job listing lost entries: %d", len(s3.Jobs()))
+	}
+	s3.Kill()
+}
+
+// TestSchedulerCrashRecoveryE2E is the acceptance drill: a real job is
+// killed mid-train, the scheduler is rebuilt from the same data
+// directories, the job runs to completion, and the trained artifact is
+// byte-identical to one from a never-interrupted daemon.
+func TestSchedulerCrashRecoveryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains real models")
+	}
+	spec := JobSpec{
+		Clusters: 2, Racks: 1, Hosts: 2, Aggs: 1, CoresPerAgg: 1,
+		WorkloadMs: 40, RunMs: 60, SmallRunMs: 50,
+		Window: 4, Hidden: 6, Epochs: 40,
+	}
+
+	// Baseline: uninterrupted run in its own data dir.
+	baseDir := t.TempDir()
+	baseReg, err := NewRegistry(filepath.Join(baseDir, "registry"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSched := NewScheduler(baseReg, 4, 1)
+	bj, err := baseSched.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, bj, StateDone)
+	key := bj.Status().ModelKey
+	want, err := os.ReadFile(filepath.Join(baseDir, "registry", key+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash run: same spec in a durable data dir, killed once training
+	// has made progress (at least one checkpointable epoch).
+	dataDir := t.TempDir()
+	reg1, err := NewRegistry(filepath.Join(dataDir, "registry"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := SchedulerOptions{
+		QueueDepth: 4, Workers: 1,
+		JournalDir:    filepath.Join(dataDir, "journal"),
+		CheckpointDir: filepath.Join(dataDir, "ckpt"),
+	}
+	s1, _, err := NewSchedulerWithOptions(reg1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Minute)
+	for {
+		if tp := j1.Status().Progress.Train; tp != nil && tp.Epoch >= 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("job never reported training progress")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	s1.Kill()
+	<-j1.Done()
+	if reg1.Contains(key) {
+		t.Fatal("killed job cached an artifact")
+	}
+
+	// Recovery: fresh registry + scheduler over the same directories.
+	reg2, err := NewRegistry(filepath.Join(dataDir, "registry"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, rep, err := NewSchedulerWithOptions(reg2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requeued != 1 {
+		t.Fatalf("recovery report = %+v, want 1 requeued", rep)
+	}
+	j2, err := s2.Job(j1.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j2, StateDone)
+	if st := j2.Status(); st.Result == nil || st.Result.Cancelled {
+		t.Fatalf("recovered job result = %+v", st.Result)
+	}
+
+	got, err := os.ReadFile(filepath.Join(dataDir, "registry", key+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("artifact after kill-and-resume differs from uninterrupted run")
+	}
+
+	// Success cleared the training cursors.
+	if files, _ := filepath.Glob(filepath.Join(dataDir, "ckpt", "*.ckpt")); len(files) != 0 {
+		t.Fatalf("checkpoints survived success: %v", files)
+	}
+	s2.Kill()
+}

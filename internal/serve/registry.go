@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"mimicnet/internal/core"
+	"mimicnet/internal/durable"
 	"mimicnet/internal/obs"
 )
 
@@ -222,31 +223,18 @@ func (r *Registry) loadDisk(key string) (*core.MimicModels, bool) {
 
 func (r *Registry) countCorrupt() { r.cCorrupt.Inc() }
 
-// storeDisk persists via temp-file + rename so readers never observe a
-// torn write. Store failures degrade to memory-only caching.
+// storeDisk persists through the shared durable helper (temp file +
+// fsync + atomic rename + directory fsync), so readers never observe a
+// torn write and a stored artifact survives power loss, not just process
+// death. Store failures degrade to memory-only caching.
 func (r *Registry) storeDisk(key string, m *core.MimicModels) {
 	if r.dir == "" {
 		return
 	}
-	err := func() error {
-		blob, err := m.Save()
-		if err != nil {
-			return err
-		}
-		tmp, err := os.CreateTemp(r.dir, key+".tmp-*")
-		if err != nil {
-			return err
-		}
-		defer os.Remove(tmp.Name())
-		if _, err := tmp.Write(blob); err != nil {
-			tmp.Close()
-			return err
-		}
-		if err := tmp.Close(); err != nil {
-			return err
-		}
-		return os.Rename(tmp.Name(), r.path(key))
-	}()
+	blob, err := m.Save()
+	if err == nil {
+		err = durable.WriteFileAtomic(r.path(key), blob, 0o644)
+	}
 	if err != nil {
 		r.cStoreErrors.Inc()
 	}

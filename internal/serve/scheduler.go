@@ -10,6 +10,7 @@ import (
 
 	"mimicnet/internal/cluster"
 	"mimicnet/internal/core"
+	"mimicnet/internal/durable"
 	"mimicnet/internal/ml"
 	"mimicnet/internal/obs"
 	"mimicnet/internal/sim"
@@ -189,9 +190,21 @@ type Scheduler struct {
 	cDone           obs.Counter
 	cFailed         obs.Counter
 	cCancelled      obs.Counter
+	cRequeued       obs.Counter
+	cJournalErrs    obs.Counter
 	gRunning        obs.Gauge
 	hPhaseTrain     *obs.Histogram
 	hPhaseCompose   *obs.Histogram
+
+	// Durability (journal.go). journal is nil when the scheduler runs
+	// memory-only; jmu orders appends against Kill/Close; jClosed
+	// suppresses writes once the journal is gone. ckptDir/ckptEvery
+	// configure per-job training checkpoints.
+	journal   *durable.Journal
+	jmu       sync.Mutex
+	jClosed   bool
+	ckptDir   string
+	ckptEvery int
 
 	wg sync.WaitGroup
 
@@ -200,28 +213,14 @@ type Scheduler struct {
 	runFn func(ctx context.Context, j *Job)
 }
 
-// NewScheduler starts a scheduler over the registry with the given queue
-// depth (<= 0 selects 64) and worker count (<= 0 selects GOMAXPROCS).
+// NewScheduler starts a memory-only scheduler over the registry with the
+// given queue depth (<= 0 selects 64) and worker count (<= 0 selects
+// GOMAXPROCS). For a crash-recoverable scheduler use
+// NewSchedulerWithOptions with a JournalDir.
 func NewScheduler(reg *Registry, queueDepth, workers int) *Scheduler {
-	if queueDepth <= 0 {
-		queueDepth = 64
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	s := &Scheduler{
-		reg:           reg,
-		queue:         make(chan *Job, queueDepth),
-		workers:       workers,
-		jobs:          make(map[string]*Job),
-		hPhaseTrain:   obs.NewHistogram(obs.TimeBuckets()),
-		hPhaseCompose: obs.NewHistogram(obs.TimeBuckets()),
-	}
-	s.runFn = s.runJob
-	s.wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go s.worker()
-	}
+	s, _, _ := NewSchedulerWithOptions(reg, SchedulerOptions{
+		QueueDepth: queueDepth, Workers: workers,
+	})
 	return s
 }
 
@@ -261,16 +260,20 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		s.cRejectDraining.Inc()
 		return nil, ErrDraining
 	}
-	s.nextID++
-	j.id = fmt.Sprintf("j%06d", s.nextID)
-	select {
-	case s.queue <- j:
-	default:
+	if len(s.queue) == cap(s.queue) {
 		s.mu.Unlock()
 		cancel()
 		s.cRejectFull.Inc()
 		return nil, ErrQueueFull
 	}
+	s.nextID++
+	j.id = fmt.Sprintf("j%06d", s.nextID)
+	// Write-ahead: the accepted record is fsynced before the job becomes
+	// visible to workers, so an admitted job can never be forgotten.
+	// Capacity was checked above under s.mu (only Submit adds to the
+	// queue), so this send cannot block.
+	s.logRecord(jobRecord{Type: recAccepted, ID: j.id, Key: key, Spec: &spec, Time: j.submitted})
+	s.queue <- j
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
@@ -402,6 +405,7 @@ func (s *Scheduler) worker() {
 func (s *Scheduler) execute(j *Job) {
 	if j.ctx.Err() != nil {
 		j.finish(StateCancelled, nil, "cancelled while queued")
+		s.logFinish(j)
 		s.account(StateCancelled, 0)
 		return
 	}
@@ -409,6 +413,7 @@ func (s *Scheduler) execute(j *Job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.mu.Unlock()
+	s.logRecord(jobRecord{Type: recStarted, ID: j.id, Time: time.Now()})
 	s.gRunning.Add(1)
 	defer s.gRunning.Add(-1)
 
@@ -419,6 +424,7 @@ func (s *Scheduler) execute(j *Job) {
 		defer cancel()
 	}
 	s.runFn(ctx, j)
+	s.logFinish(j)
 
 	st := j.Status()
 	var dur time.Duration
@@ -460,6 +466,11 @@ func (s *Scheduler) runJob(ctx context.Context, j *Job) {
 	}
 
 	j.setPhase("train")
+	s.logRecord(jobRecord{Type: recPhase, ID: j.id, Phase: "train", Time: time.Now()})
+	var ckpt *core.TrainCheckpointer
+	if s.ckptDir != "" {
+		ckpt = &core.TrainCheckpointer{Dir: s.ckptDir, Key: j.key, Every: s.ckptEvery}
+	}
 	t0 := time.Now()
 	models, hit, err := s.reg.Get(ctx, j.key, func() (*core.MimicModels, error) {
 		return trainForSpec(ctx, base, tcfg, j.spec, func(dir core.Direction, p ml.TrainProgress) {
@@ -472,8 +483,13 @@ func (s *Scheduler) runJob(ctx context.Context, j *Job) {
 				SamplesPerSec: p.SamplesPerSec,
 				BatchSize:     p.BatchSize,
 			})
-		})
+		}, ckpt)
 	})
+	if err == nil {
+		// The artifact is durably in the registry; the training cursors
+		// are dead weight now.
+		ckpt.Clear()
+	}
 	trainDur := time.Since(t0)
 	s.hPhaseTrain.Observe(trainDur.Seconds())
 	if err != nil {
@@ -486,6 +502,7 @@ func (s *Scheduler) runJob(ctx context.Context, j *Job) {
 	}
 
 	j.setPhase("compose")
+	s.logRecord(jobRecord{Type: recPhase, ID: j.id, Phase: "compose", Time: time.Now()})
 	cfg := base
 	cfg.Topo = base.Topo.WithClusters(j.spec.Clusters)
 	comp, err := core.Compose(cfg, models)
@@ -518,7 +535,9 @@ func (s *Scheduler) runJob(ctx context.Context, j *Job) {
 // and optional hyper-parameter tuning. Data generation and the final
 // training honor ctx mid-phase (the tuning loop still only checks at
 // phase boundaries), and per-epoch progress streams through the callback.
-func trainForSpec(ctx context.Context, base cluster.Config, tcfg core.TrainConfig, spec JobSpec, progress core.TrainProgressFunc) (*core.MimicModels, error) {
+// A non-nil ckpt makes the final training durably resumable (tuning
+// trials are not checkpointed: they are many, short, and disposable).
+func trainForSpec(ctx context.Context, base cluster.Config, tcfg core.TrainConfig, spec JobSpec, progress core.TrainProgressFunc, ckpt *core.TrainCheckpointer) (*core.MimicModels, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -547,6 +566,6 @@ func trainForSpec(ctx context.Context, base cluster.Config, tcfg core.TrainConfi
 			return nil, err
 		}
 	}
-	models, _, _, err := core.TrainModelsContext(ctx, ing, eg, tcfg, progress)
+	models, _, _, err := core.TrainModelsCkpt(ctx, ing, eg, tcfg, progress, ckpt)
 	return models, err
 }

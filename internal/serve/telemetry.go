@@ -24,6 +24,10 @@ func (s *Scheduler) ExposeTo(r *obs.Registry) {
 		"Jobs that reached a terminal state.", &s.cFailed)
 	r.RegisterCounter(`mimicnet_serve_jobs_finished_total{state="cancelled"}`,
 		"Jobs that reached a terminal state.", &s.cCancelled)
+	r.RegisterCounter("mimicnet_serve_jobs_requeued_total",
+		"Unfinished journaled jobs re-enqueued by crash recovery.", &s.cRequeued)
+	r.RegisterCounter("mimicnet_serve_journal_errors_total",
+		"Job-journal append/compact failures (job kept running).", &s.cJournalErrs)
 	r.RegisterGauge("mimicnet_serve_jobs_running",
 		"Jobs currently executing on the worker pool.", &s.gRunning)
 	r.GaugeFunc("mimicnet_serve_queue_depth",

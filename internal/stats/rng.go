@@ -16,13 +16,63 @@ import (
 // Stream is a seeded source of randomness. Distinct simulation components
 // take distinct streams (derived via Derive) so that adding randomness to
 // one component does not perturb another.
+//
+// A Stream's position is checkpointable: every draw, whatever its
+// distribution, consumes exactly one value from the underlying source, so
+// (seed, draws) pins the stream's state exactly. State and RestoreStream
+// are what make killed-and-resumed training runs bitwise identical to
+// uninterrupted ones.
 type Stream struct {
-	rng *rand.Rand
+	rng  *rand.Rand
+	src  *countingSource
+	seed int64
 }
+
+// countingSource wraps the stdlib source, counting source-level draws.
+// It forwards Uint64 so rand.Rand takes the exact same code paths (and
+// therefore produces the exact same value sequence) as an unwrapped
+// rand.NewSource.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 { c.n++; return c.src.Int63() }
+
+func (c *countingSource) Uint64() uint64 { c.n++; return c.src.Uint64() }
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed); c.n = 0 }
 
 // NewStream returns a stream seeded with the given seed.
 func NewStream(seed int64) *Stream {
-	return &Stream{rng: rand.New(rand.NewSource(seed))}
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &Stream{rng: rand.New(src), src: src, seed: seed}
+}
+
+// StreamState is a Stream's serializable position: the seed plus the
+// number of source-level values consumed so far. RestoreStream rebuilds a
+// stream at exactly this position.
+type StreamState struct {
+	Seed  int64  `json:"seed"`
+	Draws uint64 `json:"draws"`
+}
+
+// State snapshots the stream's position.
+func (s *Stream) State() StreamState {
+	return StreamState{Seed: s.seed, Draws: s.src.n}
+}
+
+// RestoreStream rebuilds a stream at the given position by fast-forward:
+// a fresh source is advanced st.Draws steps. All rand.Rand draw kinds
+// (Float64, Intn, NormFloat64, shuffles, ...) consume whole source values,
+// so the restored stream continues the original's sequence exactly.
+func RestoreStream(st StreamState) *Stream {
+	s := NewStream(st.Seed)
+	for i := uint64(0); i < st.Draws; i++ {
+		s.src.src.Uint64()
+	}
+	s.src.n = st.Draws
+	return s
 }
 
 // Derive returns a child stream whose seed combines the parent seed space

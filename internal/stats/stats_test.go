@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -257,5 +258,88 @@ func TestEWMABoundedProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// The counting-source wrapper must not perturb the value sequence: a
+// stream must draw exactly what rand.New(rand.NewSource(seed)) draws.
+func TestStreamMatchesStdlibSequence(t *testing.T) {
+	s := NewStream(42)
+	ref := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		switch i % 5 {
+		case 0:
+			if got, want := s.Float64(), ref.Float64(); got != want {
+				t.Fatalf("draw %d: Float64 %v != %v", i, got, want)
+			}
+		case 1:
+			if got, want := s.Intn(97), ref.Intn(97); got != want {
+				t.Fatalf("draw %d: Intn %v != %v", i, got, want)
+			}
+		case 2:
+			if got, want := s.NormFloat64(), ref.NormFloat64(); got != want {
+				t.Fatalf("draw %d: NormFloat64 %v != %v", i, got, want)
+			}
+		case 3:
+			if got, want := s.ExpFloat64(), ref.ExpFloat64(); got != want {
+				t.Fatalf("draw %d: ExpFloat64 %v != %v", i, got, want)
+			}
+		case 4:
+			if got, want := s.Int63(), ref.Int63(); got != want {
+				t.Fatalf("draw %d: Int63 %v != %v", i, got, want)
+			}
+		}
+	}
+}
+
+// State/RestoreStream must continue the original sequence exactly, at
+// any interruption point and across every draw kind (each consumes a
+// whole number of source values, so source-level fast-forward is exact).
+func TestStreamStateRestoreContinuesSequence(t *testing.T) {
+	for _, cut := range []int{0, 1, 7, 100, 333} {
+		orig := NewStream(7)
+		for i := 0; i < cut; i++ {
+			switch i % 4 {
+			case 0:
+				orig.Float64()
+			case 1:
+				orig.NormFloat64()
+			case 2:
+				orig.Intn(13)
+			case 3:
+				orig.Shuffle(9, func(i, j int) {})
+			}
+		}
+		restored := RestoreStream(orig.State())
+		if restored.State() != orig.State() {
+			t.Fatalf("cut %d: restored state %+v != %+v", cut, restored.State(), orig.State())
+		}
+		for i := 0; i < 200; i++ {
+			if got, want := restored.NormFloat64(), orig.NormFloat64(); got != want {
+				t.Fatalf("cut %d, draw %d: %v != %v", cut, i, got, want)
+			}
+		}
+	}
+}
+
+// A shuffle replayed from a restored stream must produce the identical
+// permutation — the property minibatch training resume depends on.
+func TestStreamStateShuffleReplay(t *testing.T) {
+	s := NewStream(3)
+	s.Shuffle(100, func(i, j int) {}) // advance past one epoch's shuffle
+	st := s.State()
+
+	perm1 := make([]int, 50)
+	for i := range perm1 {
+		perm1[i] = i
+	}
+	perm2 := append([]int(nil), perm1...)
+	s.Shuffle(len(perm1), func(i, j int) { perm1[i], perm1[j] = perm1[j], perm1[i] })
+	r := RestoreStream(st)
+	r.Shuffle(len(perm2), func(i, j int) { perm2[i], perm2[j] = perm2[j], perm2[i] })
+	for i := range perm1 {
+		if perm1[i] != perm2[i] {
+			t.Fatalf("permutations diverge at %d: %d != %d", i, perm1[i], perm2[i])
+		}
 	}
 }
