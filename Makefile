@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-kernels vet vuln bench bench-all bench-json bench-train bench-ckpt bench-smoke fuzz ci serve-smoke clean
+.PHONY: build test test-race test-kernels vet vuln bench bench-all bench-json bench-train bench-dataset bench-ckpt bench-smoke fuzz ci serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,14 @@ bench-json:
 # B=16).
 bench-train:
 	BENCH_TRAIN_JSON=BENCH_train.json $(GO) test -run xxx -bench BenchmarkTrain -benchtime 3x .
+
+# Legacy window-of-slices vs columnar dataset build on one identical
+# synthetic boundary trace; writes allocs/sample, bytes/sample,
+# overhead-bytes/sample and the cross-layout ratios to
+# BENCH_dataset.json (the columnar build must cut allocated overhead
+# bytes per sample by >= 5x with train samples/sec unregressed).
+bench-dataset:
+	BENCH_DATASET_JSON=BENCH_dataset.json $(GO) test -run xxx -bench BenchmarkDatasetBuild -benchtime 3x .
 
 # Durability cost sheet: journal append throughput (per-record vs
 # batched fsync), checkpoint container write/restore latency across

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"mimicnet/internal/cluster"
 	"mimicnet/internal/core"
@@ -558,6 +559,244 @@ func BenchmarkComposedRun(b *testing.B) {
 			rows = append(rows, report[name])
 		}
 		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", path)
+	}
+}
+
+// datasetBuildStats is one row of BENCH_dataset.json.
+type datasetBuildStats struct {
+	Layout string `json:"layout"`
+	Runs   int    `json:"runs"`
+	// Records/Samples per build, and the per-sample irreducible payload:
+	// one feature row (8*width) + latency (8) + two flags (2).
+	Samples          int     `json:"samples"`
+	PayloadPerSample float64 `json:"payload_bytes_per_sample"`
+
+	NsPerSample        float64 `json:"ns_per_sample"`
+	AllocsPerSample    float64 `json:"allocs_per_sample"`
+	BytesPerSample     float64 `json:"alloc_bytes_per_sample"`
+	OverheadPerSample  float64 `json:"overhead_bytes_per_sample"`
+	TrainSamplesPerSec float64 `json:"train_samples_per_second"`
+}
+
+// synthBoundaryTrace fabricates a boundary trace shaped like the real
+// tracer's output: monotone entries, plausible latencies, a few drops
+// and CE marks.
+func synthBoundaryTrace(n int, spec core.FeatureSpec) []*core.TraceRecord {
+	rng := stats.NewStream(17)
+	records := make([]*core.TraceRecord, n)
+	entry := sim.Time(0)
+	for i := range records {
+		entry += sim.Time(1000 + rng.Intn(20_000)) // 1–21 us gaps
+		r := &core.TraceRecord{
+			PktID: uint64(i), Dir: core.Ingress, Matched: true,
+			Entry: entry,
+			Info: core.PacketInfo{
+				LocalRack:   rng.Intn(spec.Racks),
+				LocalServer: rng.Intn(spec.Servers),
+				LocalAgg:    rng.Intn(spec.Aggs),
+				Core:        rng.Intn(spec.Cores),
+				SizeBytes:   64 + rng.Intn(1436),
+				IsAck:       rng.Float64() < 0.4,
+				ECT:         true,
+				Priority:    rng.Intn(8),
+				ArrivalTime: entry,
+			},
+		}
+		if rng.Float64() < 0.01 {
+			r.Dropped = true
+		} else {
+			r.Exit = entry + sim.Time(5_000+rng.Intn(400_000))
+			r.CEOut = rng.Float64() < 0.05
+		}
+		records[i] = r
+	}
+	return records
+}
+
+// legacyBuildDataset replicates the seed's window-of-slices dataset
+// builder: per-sample materialized padded windows and grow-by-append
+// banks. It is the baseline the columnar core.BuildDataset is measured
+// against (the builders produce bit-identical features and targets; see
+// core's TestBuildDatasetMatchesLegacyLayout).
+func legacyBuildDataset(records []*core.TraceRecord, spec core.FeatureSpec, cfg core.DatasetConfig) []ml.Sample {
+	lo, hi := 1e300, -1e300
+	for _, r := range records {
+		if r.Dropped {
+			continue
+		}
+		if l := r.Latency(); l < lo {
+			lo = l
+		}
+		if l := r.Latency(); l > hi {
+			hi = l
+		}
+	}
+	disc := ml.Discretizer{Lo: lo, Hi: hi, D: cfg.LatencyBins}
+	ex := core.NewExtractor(spec, lo, hi)
+	width := spec.Width()
+	window := make([][]float64, 0, cfg.Window)
+	var samples []ml.Sample
+	var infoBank []core.PacketInfo
+	var interarrivals []float64
+	lastEntry := -1.0
+	for _, r := range records {
+		feat := ex.Features(r.Info)
+		infoBank = append(infoBank, r.Info)
+		if lastEntry >= 0 {
+			interarrivals = append(interarrivals, r.Entry.Seconds()-lastEntry)
+		}
+		lastEntry = r.Entry.Seconds()
+		window = append(window, feat)
+		if len(window) > cfg.Window {
+			window = window[1:]
+		}
+		sample := ml.Sample{Dropped: r.Dropped, ECN: r.CEOut && !r.Info.CEIn}
+		if r.Dropped {
+			sample.Latency = 1.0
+		} else {
+			sample.Latency = disc.Normalize(r.Latency())
+		}
+		win := make([][]float64, cfg.Window)
+		pad := cfg.Window - len(window)
+		for i := 0; i < pad; i++ {
+			win[i] = make([]float64, width)
+		}
+		copy(win[pad:], window)
+		sample.Window = win
+		samples = append(samples, sample)
+		if r.Dropped {
+			ex.ObserveOutcome(hi, true)
+		} else {
+			ex.ObserveOutcome(r.Latency(), false)
+		}
+	}
+	_ = infoBank
+	_ = interarrivals
+	return samples
+}
+
+// BenchmarkDatasetBuild measures dataset construction in the seed's
+// window-of-slices layout against the columnar flat-matrix layout, on
+// an identical synthetic boundary trace. Reported per sample: build
+// time, heap allocations, total allocated bytes, and overhead bytes —
+// allocated bytes beyond the irreducible payload (the feature row and
+// targets themselves, which any layout must store). The seed layout
+// already aliased window rows rather than copying them, so total bytes
+// shrink ~3x; the structural overhead (per-sample window arrays,
+// padding rows, growth reallocation) is what the columnar layout
+// eliminates, and allocs/sample drops to ~0. A training throughput
+// probe over each layout's output guards against the flat matrix
+// regressing the trainers.
+//
+// When $BENCH_DATASET_JSON names a file (see `make bench-dataset`), the
+// same numbers are written there as JSON for machine comparison.
+func BenchmarkDatasetBuild(b *testing.B) {
+	const nRecords = 4096
+	const trainProbe = 512
+	spec := core.NewFeatureSpec(cluster.DefaultConfig(2).Topo)
+	dcfg := core.DefaultDatasetConfig()
+	records := synthBoundaryTrace(nRecords, spec)
+	width := spec.Width()
+	payload := float64(8*width + 8 + 2)
+
+	trainCfg := ml.DefaultModelConfig(width, dcfg.Window)
+	trainCfg.Epochs = 1
+
+	var order []string
+	report := map[string]datasetBuildStats{}
+	record := func(b *testing.B, layout string, ms0, ms1 *runtime.MemStats, trainSec float64) {
+		total := nRecords * b.N
+		st := datasetBuildStats{
+			Layout: layout, Runs: b.N, Samples: nRecords,
+			PayloadPerSample: payload,
+			NsPerSample:      float64(b.Elapsed().Nanoseconds()) / float64(total),
+			AllocsPerSample:  float64(ms1.Mallocs-ms0.Mallocs) / float64(total),
+			BytesPerSample:   float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(total),
+		}
+		st.OverheadPerSample = st.BytesPerSample - payload
+		if trainSec > 0 {
+			st.TrainSamplesPerSec = float64(trainProbe) / trainSec
+		}
+		b.ReportMetric(st.AllocsPerSample, "allocs/sample")
+		b.ReportMetric(st.BytesPerSample, "bytes/sample")
+		b.ReportMetric(st.OverheadPerSample, "overhead-bytes/sample")
+		if _, seen := report[layout]; !seen {
+			order = append(order, layout)
+		}
+		report[layout] = st
+	}
+
+	b.Run("legacy", func(b *testing.B) {
+		var samples []ml.Sample
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			samples = legacyBuildDataset(records, spec, dcfg)
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&ms1)
+		model, err := ml.NewModel(trainCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		model.Train(samples[:trainProbe])
+		record(b, "legacy", &ms0, &ms1, time.Since(t0).Seconds())
+	})
+
+	b.Run("columnar", func(b *testing.B) {
+		var ds *core.Dataset
+		var err error
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ds, err = core.BuildDataset(core.Ingress, records, spec, dcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&ms1)
+		model, err := ml.NewModel(trainCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		model.TrainSource(ds.Samples.Slice(0, trainProbe))
+		record(b, "columnar", &ms0, &ms1, time.Since(t0).Seconds())
+	})
+
+	if path := os.Getenv("BENCH_DATASET_JSON"); path != "" && len(report) > 0 {
+		rows := make([]datasetBuildStats, 0, len(order))
+		for _, name := range order {
+			rows = append(rows, report[name])
+		}
+		out := struct {
+			Modes []datasetBuildStats `json:"modes"`
+			// Headline ratios: legacy / columnar.
+			AllocRatio    float64 `json:"allocs_per_sample_ratio"`
+			BytesRatio    float64 `json:"alloc_bytes_per_sample_ratio"`
+			OverheadRatio float64 `json:"overhead_bytes_per_sample_ratio"`
+		}{Modes: rows}
+		if l, c := report["legacy"], report["columnar"]; c.AllocsPerSample > 0 {
+			out.AllocRatio = l.AllocsPerSample / c.AllocsPerSample
+			out.BytesRatio = l.BytesPerSample / c.BytesPerSample
+			if c.OverheadPerSample > 0 {
+				out.OverheadRatio = l.OverheadPerSample / c.OverheadPerSample
+			}
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -167,7 +167,7 @@ func main() {
 		fatal(err)
 		fixedCost = time.Since(t0)
 		fmt.Printf("  model training          %v (%d+%d samples; ingress MAE %.4f, egress MAE %.4f)\n",
-			fixedCost.Round(time.Millisecond), len(ingDS.Samples), len(egDS.Samples),
+			fixedCost.Round(time.Millisecond), ingDS.Len(), egDS.Len(),
 			ingEval.LatencyMAE, egEval.LatencyMAE)
 		if *savePath != "" {
 			blob, err := models.Save()

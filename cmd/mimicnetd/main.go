@@ -130,6 +130,7 @@ func newDaemon(addr, store, dataDir string, memCache, queueDepth, workers, ckptE
 			JournalDir:      filepath.Join(dataDir, "journal"),
 			CheckpointDir:   filepath.Join(dataDir, "ckpt"),
 			CheckpointEvery: ckptEvery,
+			DatasetDir:      filepath.Join(dataDir, "datasets"),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("mimicnetd: journal recovery: %w", err)

@@ -224,10 +224,11 @@ func TestBuildDataset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ds.Samples) != len(ing) {
-		t.Errorf("samples %d != records %d", len(ds.Samples), len(ing))
+	if ds.Len() != len(ing) {
+		t.Errorf("samples %d != records %d", ds.Len(), len(ing))
 	}
-	for i, s := range ds.Samples {
+	for i := 0; i < ds.Len(); i++ {
+		s := ds.Samples.At(i)
 		if len(s.Window) != 5 {
 			t.Fatalf("sample %d window len %d", i, len(s.Window))
 		}
@@ -250,7 +251,7 @@ func TestBuildDataset(t *testing.T) {
 		t.Errorf("interarrivals %d, want %d", len(ds.Interarrivals), len(ing)-1)
 	}
 	train, test := ds.Split(0.8)
-	if len(train)+len(test) != len(ds.Samples) || len(test) == 0 {
+	if train.Len()+test.Len() != ds.Len() || test.Len() == 0 {
 		t.Error("bad split")
 	}
 }
@@ -261,7 +262,7 @@ func TestBuildDatasetValidation(t *testing.T) {
 	}
 	// Empty records: safe defaults.
 	ds, err := BuildDataset(Ingress, nil, NewFeatureSpec(topo.DefaultConfig()), DatasetConfig{Window: 3})
-	if err != nil || len(ds.Samples) != 0 {
+	if err != nil || ds.Len() != 0 {
 		t.Error("empty dataset mishandled")
 	}
 }

@@ -54,11 +54,14 @@ func DefaultDatasetConfig() DatasetConfig {
 // Dataset is a per-direction training set plus the metadata needed to
 // reproduce feature extraction and recover latencies at inference time.
 type Dataset struct {
-	Dir     Direction
-	Spec    FeatureSpec
-	Bounds  LatencyBounds
-	Disc    ml.Discretizer
-	Samples []ml.Sample
+	Dir    Direction
+	Spec   FeatureSpec
+	Bounds LatencyBounds
+	Disc   ml.Discretizer
+	// Samples is the columnar view: one contiguous row-major feature
+	// matrix (each packet's features stored exactly once) plus target
+	// columns, with per-sample windows expressed as index ranges.
+	Samples *ml.SampleView
 	// DropRate/ECNRate summarize target distributions (for reporting).
 	DropRate, ECNRate float64
 	// InfoBank holds the scalable packet descriptions observed in the
@@ -69,53 +72,56 @@ type Dataset struct {
 	Interarrivals []float64
 }
 
+// Len returns the number of training samples.
+func (ds *Dataset) Len() int {
+	if ds.Samples == nil {
+		return 0
+	}
+	return ds.Samples.Len()
+}
+
 // BuildDataset converts boundary trace records (entry order) into
-// windowed training samples for one direction.
+// windowed training samples for one direction. Feature rows are
+// extracted straight into the view's flat matrix — no per-sample window
+// structure, no materialized padding rows, and (with the exact
+// preallocation below) no growth reallocation in the hot loop.
 func BuildDataset(dir Direction, records []*TraceRecord, spec FeatureSpec, cfg DatasetConfig) (*Dataset, error) {
 	if cfg.Window < 1 {
 		return nil, fmt.Errorf("core: window must be >= 1")
 	}
 	bounds := boundsFromRecords(records)
+	n := len(records)
 	ds := &Dataset{
 		Dir: dir, Spec: spec, Bounds: bounds,
-		Disc: ml.Discretizer{Lo: bounds.Lo, Hi: bounds.Hi, D: cfg.LatencyBins},
+		Disc:     ml.Discretizer{Lo: bounds.Lo, Hi: bounds.Hi, D: cfg.LatencyBins},
+		InfoBank: make([]PacketInfo, 0, n),
+	}
+	if n > 1 {
+		ds.Interarrivals = make([]float64, 0, n-1)
 	}
 	ex := NewExtractor(spec, bounds.Lo, bounds.Hi)
-	width := spec.Width()
-	window := make([][]float64, 0, cfg.Window)
+	bank := ml.NewSampleBank(spec.Width(), cfg.Window, n)
 	var lastEntry float64 = -1
 	var drops, ecns int
 	for _, r := range records {
-		feat := ex.Features(r.Info)
+		bank.Feats = ex.FeaturesAppend(bank.Feats, r.Info)
 		ds.InfoBank = append(ds.InfoBank, r.Info)
 		if lastEntry >= 0 {
 			ds.Interarrivals = append(ds.Interarrivals, r.Entry.Seconds()-lastEntry)
 		}
 		lastEntry = r.Entry.Seconds()
 
-		window = append(window, feat)
-		if len(window) > cfg.Window {
-			window = window[1:]
-		}
-		sample := ml.Sample{Dropped: r.Dropped, ECN: r.CEOut && !r.Info.CEIn}
+		ecn := r.CEOut && !r.Info.CEIn
+		lat := 1.0 // Lmax + epsilon, normalized
 		if r.Dropped {
-			sample.Latency = 1.0 // Lmax + epsilon, normalized
 			drops++
 		} else {
-			sample.Latency = ds.Disc.Normalize(r.Latency())
+			lat = ds.Disc.Normalize(r.Latency())
 		}
-		if sample.ECN {
+		if ecn {
 			ecns++
 		}
-		// Pad early windows with zero vectors so no data is wasted.
-		win := make([][]float64, cfg.Window)
-		pad := cfg.Window - len(window)
-		for i := 0; i < pad; i++ {
-			win[i] = make([]float64, width)
-		}
-		copy(win[pad:], window)
-		sample.Window = win
-		ds.Samples = append(ds.Samples, sample)
+		bank.PushTarget(lat, r.Dropped, ecn)
 
 		// The training-time congestion estimator sees ground truth.
 		if r.Dropped {
@@ -124,19 +130,25 @@ func BuildDataset(dir Direction, records []*TraceRecord, spec FeatureSpec, cfg D
 			ex.ObserveOutcome(r.Latency(), false)
 		}
 	}
-	if n := len(ds.Samples); n > 0 {
+	ds.Samples = bank
+	if n > 0 {
 		ds.DropRate = float64(drops) / float64(n)
 		ds.ECNRate = float64(ecns) / float64(n)
 	}
+	observeDatasetBuilt(dir, ds)
 	return ds, nil
 }
 
 // Split divides samples chronologically into train and test sets (time
-// series must not leak future into past).
-func (ds *Dataset) Split(trainFrac float64) (train, test []ml.Sample) {
+// series must not leak future into past). The two views share the full
+// feature matrix, so the test split's early windows still see their
+// pre-cut history — exactly what the legacy layout materialized into
+// each sample's padded window.
+func (ds *Dataset) Split(trainFrac float64) (train, test *ml.SampleView) {
 	if trainFrac <= 0 || trainFrac >= 1 {
 		trainFrac = 0.8
 	}
-	cut := int(float64(len(ds.Samples)) * trainFrac)
-	return ds.Samples[:cut], ds.Samples[cut:]
+	n := ds.Len()
+	cut := int(float64(n) * trainFrac)
+	return ds.Samples.Slice(0, cut), ds.Samples.Slice(cut, n)
 }

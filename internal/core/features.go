@@ -209,8 +209,15 @@ func ml1Discretize(v float64, bins int) float64 {
 // Features builds the feature vector for a packet and advances stream
 // state. The caller must feed packets in arrival order.
 func (e *Extractor) Features(p PacketInfo) []float64 {
+	return e.FeaturesAppend(make([]float64, 0, e.Spec.Width()), p)
+}
+
+// FeaturesAppend appends the packet's feature row to dst and returns
+// it — the columnar dataset builder writes rows straight into its flat
+// matrix, so building a dataset performs no per-packet allocation.
+func (e *Extractor) FeaturesAppend(dst []float64, p PacketInfo) []float64 {
 	s := e.Spec
-	v := make([]float64, 0, s.Width())
+	v := dst
 	v = appendOneHot(v, p.LocalRack, s.Racks)
 	v = appendOneHot(v, p.LocalServer, s.Servers)
 	v = appendOneHot(v, p.LocalAgg, s.Aggs)

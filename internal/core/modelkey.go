@@ -103,3 +103,80 @@ func ModelKey(base cluster.Config, smallRun sim.Time, tcfg TrainConfig, extra st
 	sum := sha256.Sum256(blob)
 	return hex.EncodeToString(sum[:]), nil
 }
+
+// datasetKeyPayload is the datagen-only projection of a job
+// configuration: the knobs that determine the boundary trace and its
+// conversion to columnar datasets, and nothing downstream of them.
+// Model hyper-parameters, TrainFrac, and tuning extras deliberately do
+// NOT appear — jobs that differ only in how they train share one
+// persisted dataset.
+type datasetKeyPayload struct {
+	Format string // dataset container magic; layout changes miss the cache
+
+	Racks, Hosts, Aggs, Cores int
+
+	Protocol string
+	RateBps  float64
+	DelayNs  int64
+	ECNK     int
+	QueueCap int
+
+	Load          float64
+	MeanFlowBytes float64
+	WorkloadNs    int64
+	Seed          int64
+	PIntraRack    float64
+	PIntraCluster float64
+	MinFlowBytes  int64
+	MaxFlowBytes  int64
+
+	SmallRunNs     int64
+	Window         int
+	LatencyBins    int
+	SkipCongestion bool
+}
+
+// DatasetKey returns the content address of the columnar datasets a
+// small-scale datagen run over this configuration would produce (the
+// run is fully seeded, so equal keys mean regenerating is provably
+// redundant). It is intentionally coarser than ModelKey: many model
+// keys map onto one dataset key.
+func DatasetKey(base cluster.Config, smallRun sim.Time, tcfg TrainConfig) (string, error) {
+	if base.Protocol == nil {
+		return "", fmt.Errorf("core: dataset key needs a protocol")
+	}
+	payload := datasetKeyPayload{
+		Format: DatasetFileMagic,
+
+		Racks: base.Topo.RacksPerCluster,
+		Hosts: base.Topo.HostsPerRack,
+		Aggs:  base.Topo.AggPerCluster,
+		Cores: base.Topo.CoresPerAgg,
+
+		Protocol: base.Protocol.Name(),
+		RateBps:  base.Link.RateBps,
+		DelayNs:  int64(base.Link.Delay),
+		ECNK:     base.ECNThresholdK,
+		QueueCap: base.QueueCapacity,
+
+		Load:          base.Workload.Load,
+		MeanFlowBytes: base.Workload.MeanFlowBytes,
+		WorkloadNs:    int64(base.Workload.Duration),
+		Seed:          base.Workload.Seed,
+		PIntraRack:    base.Workload.PIntraRack,
+		PIntraCluster: base.Workload.PIntraCluster,
+		MinFlowBytes:  base.Workload.MinFlowBytes,
+		MaxFlowBytes:  base.Workload.MaxFlowBytes,
+
+		SmallRunNs:     int64(smallRun),
+		Window:         tcfg.Dataset.Window,
+		LatencyBins:    tcfg.Dataset.LatencyBins,
+		SkipCongestion: tcfg.SkipCongestionFeature,
+	}
+	blob, err := json.Marshal(payload)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}

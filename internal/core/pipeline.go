@@ -81,8 +81,8 @@ func RunPipelineContext(ctx context.Context, cfg PipelineConfig) (*Artifacts, er
 		Models:         models,
 		IngressEval:    ingEval,
 		EgressEval:     egEval,
-		IngressSamples: len(ing.Samples),
-		EgressSamples:  len(eg.Samples),
+		IngressSamples: ing.Len(),
+		EgressSamples:  eg.Len(),
 		SmallScaleTime: smallTime,
 		TrainTime:      time.Since(t1),
 		SmallScale:     inst,

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"unsafe"
+
 	"mimicnet/internal/obs"
 )
 
@@ -25,4 +27,28 @@ var (
 
 	obsCkptResumes = obs.Default().Counter("mimicnet_core_train_resumes_total",
 		"Direction trainings resumed from a durable checkpoint instead of scratch.")
+
+	obsDatasetBytes = map[Direction]*obs.Gauge{
+		Ingress: obs.Default().Gauge(`mimicnet_core_dataset_bytes{dir="ingress"}`,
+			"Resident bytes of the most recently built columnar dataset (feature matrix, targets, info bank, interarrivals)."),
+		Egress: obs.Default().Gauge(`mimicnet_core_dataset_bytes{dir="egress"}`, ""),
+	}
+	obsDatasetSamples = map[Direction]*obs.Gauge{
+		Ingress: obs.Default().Gauge(`mimicnet_core_dataset_samples{dir="ingress"}`,
+			"Sample count of the most recently built dataset."),
+		Egress: obs.Default().Gauge(`mimicnet_core_dataset_samples{dir="egress"}`, ""),
+	}
 )
+
+// observeDatasetBuilt records the footprint of a freshly built dataset.
+func observeDatasetBuilt(dir Direction, ds *Dataset) {
+	bytes := int64(ds.Samples.Bytes()) +
+		int64(len(ds.InfoBank))*int64(unsafe.Sizeof(PacketInfo{})) +
+		8*int64(len(ds.Interarrivals))
+	if g, ok := obsDatasetBytes[dir]; ok {
+		g.Set(bytes)
+	}
+	if g, ok := obsDatasetSamples[dir]; ok {
+		g.Set(int64(ds.Len()))
+	}
+}

@@ -53,12 +53,13 @@ func TestTraceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(dsMem.Samples) != len(dsFile.Samples) {
+	if dsMem.Len() != dsFile.Len() {
 		t.Fatal("sample counts differ")
 	}
-	for i := range dsMem.Samples {
-		a, b := dsMem.Samples[i], dsFile.Samples[i]
-		if a.Latency != b.Latency || a.Dropped != b.Dropped {
+	for i := 0; i < dsMem.Len(); i++ {
+		aLat, aDrop, _ := dsMem.Samples.Target(i)
+		bLat, bDrop, _ := dsFile.Samples.Target(i)
+		if aLat != bLat || aDrop != bDrop {
 			t.Fatalf("sample %d targets differ", i)
 		}
 	}

@@ -54,7 +54,7 @@ func TrainDirectionContext(ctx context.Context, ds *Dataset, cfg TrainConfig, pr
 // trainDirection is the shared implementation behind
 // TrainDirectionContext (ckpt == nil) and TrainDirectionCkpt.
 func trainDirection(ctx context.Context, ds *Dataset, cfg TrainConfig, progress TrainProgressFunc, ckpt *TrainCheckpointer) (*DirectionModel, ml.EvalResult, error) {
-	if len(ds.Samples) == 0 {
+	if ds.Len() == 0 {
 		return nil, ml.EvalResult{}, fmt.Errorf("core: %v dataset is empty", ds.Dir)
 	}
 	mcfg := cfg.Model
@@ -76,21 +76,21 @@ func trainDirection(ctx context.Context, ds *Dataset, cfg TrainConfig, progress 
 		if err != nil {
 			return nil, ml.EvalResult{}, err
 		}
-		if resumable(ck, mcfg, len(train)) {
+		if resumable(ck, mcfg, train.Len()) {
 			opts.ResumeFrom = ck
 			obsCkptResumes.Inc()
 		}
 		opts.CheckpointEvery = ckpt.every()
 		opts.SaveCheckpoint, waitCkpt = ckpt.AsyncSaver(ds.Dir)
 	}
-	_, trainErr := model.TrainContext(ctx, train, opts)
+	_, trainErr := model.TrainSourceContext(ctx, train, opts)
 	if werr := waitCkpt(); trainErr == nil {
 		trainErr = werr
 	}
 	if trainErr != nil {
 		return nil, ml.EvalResult{}, trainErr
 	}
-	eval := model.Evaluate(test)
+	eval := model.EvaluateSource(test)
 
 	meanGap := stats.Mean(ds.Interarrivals)
 	rate := 0.0

@@ -34,7 +34,7 @@ func UpdateModels(models *MimicModels, ing, eg *Dataset, epochs int, lr float64)
 }
 
 func updateDirection(old *DirectionModel, ds *Dataset, epochs int, lr float64) (*DirectionModel, error) {
-	if len(ds.Samples) == 0 {
+	if ds.Len() == 0 {
 		return nil, fmt.Errorf("core: %v update dataset is empty", ds.Dir)
 	}
 	// Clone weights via serialization so the original stays usable.
@@ -47,18 +47,19 @@ func updateDirection(old *DirectionModel, ds *Dataset, epochs int, lr float64) (
 		return nil, err
 	}
 	// Latency normalization must keep the old bounds: the cloned weights
-	// were trained against them. Out-of-range new latencies clamp.
-	retargeted := make([]ml.Sample, len(ds.Samples))
-	for i, s := range ds.Samples {
-		retargeted[i] = s
-		if !s.Dropped {
+	// were trained against them. Out-of-range new latencies clamp. Only
+	// the latency column is rewritten — the feature matrix is shared.
+	retargeted := make([]float64, ds.Len())
+	for i := range retargeted {
+		lat, dropped, _ := ds.Samples.Target(i)
+		if !dropped {
 			// ds normalized with its own bounds; re-normalize raw value
 			// into the old model's scale.
-			raw := ds.Disc.Recover(s.Latency)
-			retargeted[i].Latency = old.Disc.Normalize(raw)
+			lat = old.Disc.Normalize(ds.Disc.Recover(lat))
 		}
+		retargeted[i] = lat
 	}
-	model.FineTune(retargeted, epochs, lr)
+	model.FineTuneSource(ds.Samples.WithLatency(retargeted), epochs, lr)
 
 	meanGap := stats.Mean(ds.Interarrivals)
 	rate := old.RatePktsPerSec

@@ -1,41 +1,25 @@
 package durable
 
 import (
-	"encoding/binary"
+	"errors"
 	"fmt"
-	"hash/crc32"
-	"os"
 )
 
-// Checkpoint file format: a small self-validating container for one
-// opaque payload (the ml layer's serialized training cursor — weights,
-// Adam moments, epoch cursor, RNG position).
-//
-//	"MNCKPT01" | uint32 payload length | uint32 CRC32(payload) | payload
-//
-// Writes go through WriteFileAtomic, so a checkpoint on disk is always
-// either the previous complete one or the new complete one. Reads
-// validate magic, length, and CRC; any damage is ErrCorrupt — callers
-// treat that exactly like "no checkpoint" and start from scratch,
-// trading lost progress for correctness.
+// Checkpoint file format: the generic container framing (container.go)
+// under the "MNCKPT01" magic, holding one opaque payload (the ml
+// layer's serialized training cursor — weights, Adam moments, epoch
+// cursor, RNG position).
 
 const ckptMagic = "MNCKPT01"
 
-// ErrCorrupt marks a checkpoint that failed framing or CRC validation.
+// ErrCorrupt marks a container that failed framing or CRC validation.
 var ErrCorrupt = fmt.Errorf("durable: corrupt checkpoint")
 
 // WriteCheckpoint atomically persists payload as a checkpoint file.
 func WriteCheckpoint(path string, payload []byte) error {
 	sp := obsStartSpan(obsCkptWrite)
 	defer sp.End()
-	buf := make([]byte, 0, len(ckptMagic)+8+len(payload))
-	buf = append(buf, ckptMagic...)
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
-	buf = append(buf, hdr[:]...)
-	buf = append(buf, payload...)
-	if err := WriteFileAtomic(path, buf, 0o644); err != nil {
+	if err := WriteContainer(path, ckptMagic, payload); err != nil {
 		return err
 	}
 	obsCkptWrites.Inc()
@@ -47,21 +31,13 @@ func WriteCheckpoint(path string, payload []byte) error {
 // returns os.ErrNotExist (via the underlying read); damage of any kind
 // returns ErrCorrupt.
 func ReadCheckpoint(path string) ([]byte, error) {
-	blob, err := os.ReadFile(path)
-	if err != nil {
+	payload, err := ReadContainer(path, ckptMagic)
+	if errors.Is(err, ErrCorrupt) {
+		obsCkptCorrupt.Inc()
 		return nil, err
 	}
-	if len(blob) < len(ckptMagic)+8 || string(blob[:len(ckptMagic)]) != ckptMagic {
-		obsCkptCorrupt.Inc()
-		return nil, ErrCorrupt
-	}
-	hdr := blob[len(ckptMagic):]
-	n := int(binary.LittleEndian.Uint32(hdr[0:]))
-	crc := binary.LittleEndian.Uint32(hdr[4:])
-	payload := hdr[8:]
-	if len(payload) != n || crc32.ChecksumIEEE(payload) != crc {
-		obsCkptCorrupt.Inc()
-		return nil, ErrCorrupt
+	if err != nil {
+		return nil, err
 	}
 	obsCkptRestores.Inc()
 	return payload, nil

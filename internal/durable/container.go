@@ -1,0 +1,56 @@
+package durable
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+)
+
+// Generic self-validating container framing, shared by the checkpoint
+// file (MNCKPT01) and the columnar dataset file (MNDSET01):
+//
+//	magic (8 bytes) | uint32 payload length | uint32 CRC32(payload) | payload
+//
+// Writes go through WriteFileAtomic, so a container on disk is always
+// either the previous complete file or the new complete one. Reads
+// validate magic, length, and CRC; any damage is ErrCorrupt — callers
+// treat that exactly like "no file" and rebuild, trading lost work for
+// correctness.
+
+// WriteContainer atomically persists payload under the given 8-byte
+// magic tag.
+func WriteContainer(path, magic string, payload []byte) error {
+	buf := make([]byte, 0, len(magic)+8+len(payload))
+	buf = append(buf, magic...)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	return WriteFileAtomic(path, buf, 0o644)
+}
+
+// ReadContainer loads and validates a container file written with the
+// same magic. A missing file returns os.ErrNotExist (via the underlying
+// read); wrong magic, truncation, or CRC mismatch returns ErrCorrupt.
+func ReadContainer(path, magic string) ([]byte, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return unframe(blob, magic)
+}
+
+func unframe(blob []byte, magic string) ([]byte, error) {
+	if len(blob) < len(magic)+8 || string(blob[:len(magic)]) != magic {
+		return nil, ErrCorrupt
+	}
+	hdr := blob[len(magic):]
+	n := int(binary.LittleEndian.Uint32(hdr[0:]))
+	crc := binary.LittleEndian.Uint32(hdr[4:])
+	payload := hdr[8:]
+	if len(payload) != n || crc32.ChecksumIEEE(payload) != crc {
+		return nil, ErrCorrupt
+	}
+	return payload, nil
+}

@@ -100,16 +100,19 @@ func (r *Runner) Fig6() (*Table, error) {
 // ground-truth quantile over the dataset's held-out tail.
 func tailError(dm *core.DirectionModel, ds *core.Dataset, q float64) float64 {
 	_, test := ds.Split(0.8)
-	if len(test) == 0 {
+	if test.Len() == 0 {
 		return 0
 	}
 	var truth, pred []float64
-	for _, s := range test {
-		if s.Dropped {
+	var win [][]float64
+	for i := 0; i < test.Len(); i++ {
+		lat, dropped, _ := test.Target(i)
+		if dropped {
 			continue
 		}
-		truth = append(truth, s.Latency)
-		pred = append(pred, dm.Model.Forward(s.Window).Latency)
+		win = test.WindowAppend(win[:0], i)
+		truth = append(truth, lat)
+		pred = append(pred, dm.Model.Forward(win).Latency)
 	}
 	if len(truth) == 0 {
 		return 0
@@ -149,8 +152,8 @@ func (r *Runner) Fig16(windows []int) (*Table, error) {
 		}
 		train, _ := ing.Split(0.8)
 		t0 := time.Now()
-		res := model.Train(train)
-		perSample := time.Since(t0).Seconds() / float64(len(train)*tcfg.Model.Epochs) * 1e6
+		res := model.TrainSource(train)
+		perSample := time.Since(t0).Seconds() / float64(train.Len()*tcfg.Model.Epochs) * 1e6
 		final := 0.0
 		if len(res.EpochLoss) > 0 {
 			final = res.EpochLoss[len(res.EpochLoss)-1]
@@ -187,13 +190,15 @@ func (r *Runner) Fig17(windows []int) (*Table, error) {
 		// Windowed inference latency per packet (the paper's embedded
 		// engine recomputes the window for each arriving packet).
 		_, test := ing.Split(0.8)
-		if len(test) == 0 {
+		if test.Len() == 0 {
 			continue
 		}
 		n := 0
+		var win [][]float64
 		t0 := time.Now()
-		for _, s := range test {
-			dm.Model.Forward(s.Window)
+		for i := 0; i < test.Len(); i++ {
+			win = test.WindowAppend(win[:0], i)
+			dm.Model.Forward(win)
 			n++
 		}
 		perPkt := time.Since(t0).Seconds() / float64(n) * 1e6

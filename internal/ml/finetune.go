@@ -24,11 +24,23 @@ func (m *Model) FineTune(samples []Sample, epochs int, lr float64) TrainResult {
 // FineTuneContext is FineTune with cancellation and progress reporting,
 // sharing the batch-size-selected trainer with TrainContext.
 func (m *Model) FineTuneContext(ctx context.Context, samples []Sample, epochs int, lr float64, opts TrainOpts) (TrainResult, error) {
+	return m.FineTuneSourceContext(ctx, samplesOf(samples), epochs, lr, opts)
+}
+
+// FineTuneSource is FineTune over a SampleSource (columnar views
+// fine-tune without materializing []Sample).
+func (m *Model) FineTuneSource(src SampleSource, epochs int, lr float64) TrainResult {
+	res, _ := m.FineTuneSourceContext(context.Background(), src, epochs, lr, TrainOpts{})
+	return res
+}
+
+// FineTuneSourceContext is FineTuneContext over a SampleSource.
+func (m *Model) FineTuneSourceContext(ctx context.Context, src SampleSource, epochs int, lr float64, opts TrainOpts) (TrainResult, error) {
 	if opts.ResumeFrom != nil || opts.SaveCheckpoint != nil {
 		// Checkpoint cursors are scoped to TrainContext: they embed the
 		// model's own config (epochs, LR, seed), which fine-tuning
 		// overrides, so a resume here would silently diverge.
-		return TrainResult{Samples: len(samples)}, errFineTuneCheckpoint
+		return TrainResult{Samples: src.Len()}, errFineTuneCheckpoint
 	}
 	if epochs < 1 {
 		epochs = 1
@@ -37,5 +49,5 @@ func (m *Model) FineTuneContext(ctx context.Context, samples []Sample, epochs in
 		lr = m.Cfg.LR / 3
 	}
 	rng := stats.NewStream(m.Cfg.Seed + 7)
-	return m.fit(ctx, lr, rng, samples, epochs, opts)
+	return m.fit(ctx, lr, rng, src, epochs, opts)
 }

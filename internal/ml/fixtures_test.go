@@ -1,0 +1,104 @@
+package ml
+
+import (
+	"mimicnet/internal/stats"
+)
+
+// Shared synthetic-data builders for the trainer and layout tests. The
+// draw order inside each helper is part of the fixtures' golden
+// contract: every seeded test's data derives from it, so changing a
+// draw changes what those tests train on.
+
+// synthRow fills one synthetic feature row: feature 0 uniform in [0,1),
+// feature 1 standard normal, the rest uniform in [-0.5,0.5).
+func synthRow(rng *stats.Stream, features int) []float64 {
+	row := make([]float64, features)
+	row[0] = rng.Float64()
+	if features > 1 {
+		row[1] = rng.NormFloat64()
+	}
+	for k := 2; k < features; k++ {
+		row[k] = rng.Float64() - 0.5
+	}
+	return row
+}
+
+// synthGaussianWindow draws one window of standard-normal rows — the
+// hand-rolled builder previously copied across the gradient-check and
+// stateful-inference tests.
+func synthGaussianWindow(rng *stats.Stream, window, features int) [][]float64 {
+	out := make([][]float64, window)
+	for i := range out {
+		row := make([]float64, features)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// synthSamples builds the synthetic task used across the trainer tests
+// (independent windows): latency = mean of feature 0 over the window,
+// drop iff feature 1 of the last packet > 0, ECN iff feature 0 of the
+// last packet > 0.7.
+func synthSamples(n, features, window int, seed int64) []Sample {
+	rng := stats.NewStream(seed)
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		var s Sample
+		var sum float64
+		for j := 0; j < window; j++ {
+			row := synthRow(rng, features)
+			s.Window = append(s.Window, row)
+			sum += row[0]
+		}
+		s.Latency = sum / float64(window)
+		if features > 1 {
+			s.Dropped = s.Window[window-1][1] > 0
+		}
+		s.ECN = s.Window[window-1][0] > 0.7
+		out = append(out, s)
+	}
+	return out
+}
+
+// synthStream builds the same task over stream-shaped data — one row
+// per packet, each sample's window the preceding rows of the stream,
+// zero-padded before the start like a real boundary trace — and emits
+// BOTH layouts from one draw sequence: the legacy padded []Sample and
+// the columnar *SampleView. Identical float content across the two is
+// what the layout-parity tests rely on. (Independent-window fixtures
+// like synthSamples cannot be expressed as a single sliding-window
+// matrix; stream-shaped data is the representable common case.)
+func synthStream(n, features, window int, seed int64) ([]Sample, *SampleView) {
+	rng := stats.NewStream(seed)
+	view := NewSampleBank(features, window, n)
+	rows := make([][]float64, 0, n)
+	legacy := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		row := synthRow(rng, features)
+		rows = append(rows, row)
+
+		var s Sample
+		sum := 0.0
+		win := make([][]float64, 0, window)
+		for j := i - window + 1; j <= i; j++ {
+			if j < 0 {
+				win = append(win, make([]float64, features))
+				continue
+			}
+			win = append(win, rows[j])
+			sum += rows[j][0]
+		}
+		s.Window = win
+		s.Latency = sum / float64(window)
+		if features > 1 {
+			s.Dropped = row[1] > 0
+		}
+		s.ECN = row[0] > 0.7
+		legacy = append(legacy, s)
+		view.Append(row, s.Latency, s.Dropped, s.ECN)
+	}
+	return legacy, view
+}

@@ -89,13 +89,7 @@ func TestGradientCheck(t *testing.T) {
 	}
 	rng := stats.NewStream(9)
 	sample := Sample{Latency: 0.3, Dropped: true, ECN: false}
-	for i := 0; i < cfg.Window; i++ {
-		row := make([]float64, cfg.Features)
-		for j := range row {
-			row[j] = rng.NormFloat64()
-		}
-		sample.Window = append(sample.Window, row)
-	}
+	sample.Window = synthGaussianWindow(rng, cfg.Window, cfg.Features)
 
 	lossAt := func() float64 {
 		tr := ForwardWindow(m.Trunk, sample.Window, false)
@@ -245,14 +239,7 @@ func TestStatefulRunnerMatchesForwardWindow(t *testing.T) {
 	cfg.Layers = 2
 	m, _ := NewModel(cfg)
 	rng := stats.NewStream(5)
-	window := make([][]float64, 5)
-	for i := range window {
-		row := make([]float64, 4)
-		for j := range row {
-			row[j] = rng.NormFloat64()
-		}
-		window[i] = row
-	}
+	window := synthGaussianWindow(rng, 5, 4)
 	tr := ForwardWindow(m.Trunk, window, false)
 	sr := NewStatefulModel(m)
 	var last Prediction
@@ -534,13 +521,7 @@ func TestGradientCheckGRUAndMLP(t *testing.T) {
 		}
 		rng := stats.NewStream(13)
 		sample := Sample{Latency: 0.4, Dropped: false, ECN: true}
-		for i := 0; i < cfg.Window; i++ {
-			row := make([]float64, cfg.Features)
-			for j := range row {
-				row[j] = rng.NormFloat64()
-			}
-			sample.Window = append(sample.Window, row)
-		}
+		sample.Window = synthGaussianWindow(rng, cfg.Window, cfg.Features)
 		lossAt := func() float64 {
 			tr := ForwardWindow(m.Trunk, sample.Window, false)
 			p := m.heads(tr.Outputs)

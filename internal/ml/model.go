@@ -175,16 +175,23 @@ func (m *Model) Forward(window [][]float64) Prediction {
 
 // trainStep runs forward+backward for one sample and returns the loss.
 func (m *Model) trainStep(s Sample) float64 {
-	tr := ForwardWindow(m.Trunk, s.Window, true)
+	return m.trainStepWindow(s.Window, s.Latency, s.Dropped, s.ECN)
+}
+
+// trainStepWindow is trainStep over an explicit window and targets, so
+// columnar sources can feed the scalar path without materializing a
+// Sample.
+func (m *Model) trainStepWindow(window [][]float64, latency float64, dropped, ecn bool) float64 {
+	tr := ForwardWindow(m.Trunk, window, true)
 	h := tr.Outputs
 	pred := m.heads(h)
 
-	latTarget := s.Latency
+	latTarget := latency
 	dropTarget, ecnTarget := 0.0, 0.0
-	if s.Dropped {
+	if dropped {
 		dropTarget = 1
 	}
-	if s.ECN {
+	if ecn {
 		ecnTarget = 1
 	}
 
@@ -238,14 +245,28 @@ func (m *Model) Train(samples []Sample) TrainResult {
 // continues at the checkpoint's epoch cursor; the final model is bitwise
 // identical to an uninterrupted run with the same config and samples.
 func (m *Model) TrainContext(ctx context.Context, samples []Sample, opts TrainOpts) (TrainResult, error) {
+	return m.TrainSourceContext(ctx, samplesOf(samples), opts)
+}
+
+// TrainSource is Train over a SampleSource (columnar views train
+// without materializing []Sample).
+func (m *Model) TrainSource(src SampleSource) TrainResult {
+	res, _ := m.TrainSourceContext(context.Background(), src, TrainOpts{})
+	return res
+}
+
+// TrainSourceContext is TrainContext over a SampleSource. Training over
+// a SampleView is bitwise identical to training over the equivalent
+// []Sample: both feed the same float values through the same loops.
+func (m *Model) TrainSourceContext(ctx context.Context, src SampleSource, opts TrainOpts) (TrainResult, error) {
 	rng := stats.NewStream(m.Cfg.Seed + 1)
 	if ck := opts.ResumeFrom; ck != nil {
-		if err := m.restoreCheckpoint(ck, len(samples)); err != nil {
-			return TrainResult{Samples: len(samples)}, err
+		if err := m.restoreCheckpoint(ck, src.Len()); err != nil {
+			return TrainResult{Samples: src.Len()}, err
 		}
 		rng = stats.RestoreStream(ck.RNG)
 	}
-	return m.fit(ctx, m.Cfg.LR, rng, samples, m.Cfg.Epochs, opts)
+	return m.fit(ctx, m.Cfg.LR, rng, src, m.Cfg.Epochs, opts)
 }
 
 // EvalResult aggregates test-set quality per task.
@@ -260,27 +281,37 @@ type EvalResult struct {
 
 // Evaluate scores samples without updating parameters.
 func (m *Model) Evaluate(samples []Sample) EvalResult {
+	return m.EvaluateSource(samplesOf(samples))
+}
+
+// EvaluateSource is Evaluate over a SampleSource; windows are gathered
+// into a reused buffer of row aliases, so scoring a columnar view
+// allocates nothing per sample.
+func (m *Model) EvaluateSource(src SampleSource) EvalResult {
 	var res EvalResult
-	if len(samples) == 0 {
+	count := src.Len()
+	if count == 0 {
 		return res
 	}
-	for _, s := range samples {
-		p := m.Forward(s.Window)
-		latTarget := s.Latency
+	var win [][]float64
+	for i := 0; i < count; i++ {
+		win = src.WindowAppend(win[:0], i)
+		p := m.Forward(win)
+		latTarget, dropped, ecn := src.Target(i)
 		l, _ := MAE(p.Latency, latTarget)
 		res.LatencyMAE += l
 		res.DropRatePred += p.PDrop
 		res.ECNRatePred += p.PECN
-		if s.Dropped {
+		if dropped {
 			res.DropRateTrue++
 		}
-		if s.ECN {
+		if ecn {
 			res.ECNRateTrue++
 		}
 		latLoss, _ := m.Cfg.LatLoss.Eval(p.Latency, latTarget, m.Cfg.HuberDelta)
 		res.Loss += latLoss
 	}
-	n := float64(len(samples))
+	n := float64(count)
 	res.LatencyMAE /= n
 	res.DropRateTrue /= n
 	res.DropRatePred /= n

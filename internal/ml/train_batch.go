@@ -72,12 +72,15 @@ type TrainOpts struct {
 // shuffle each epoch with rng, run forward+backward per batch, clip, and
 // apply one optimizer step per batch. BatchSize 1 reproduces the original
 // scalar loop bit for bit (same shuffle stream, one step per sample).
-func (m *Model) fit(ctx context.Context, lr float64, rng *stats.Stream, samples []Sample, epochs int, opts TrainOpts) (TrainResult, error) {
+// The source may be a legacy []Sample adapter or a columnar SampleView;
+// the two are bitwise interchangeable.
+func (m *Model) fit(ctx context.Context, lr float64, rng *stats.Stream, src SampleSource, epochs int, opts TrainOpts) (TrainResult, error) {
 	params := m.Params()
-	res := TrainResult{Samples: len(samples)}
+	count := src.Len()
+	res := TrainResult{Samples: count}
 	B := m.Cfg.batchSize()
 	var bt *miniBatchTrainer
-	if B > 1 && uniformSteps(samples) > 0 {
+	if B > 1 && src.Steps() > 0 {
 		pool := opts.Pool
 		if pool == nil {
 			pool = SharedPool()
@@ -97,7 +100,7 @@ func (m *Model) fit(ctx context.Context, lr float64, rng *stats.Stream, samples 
 		lr *= math.Sqrt(float64(B))
 	}
 	opt := NewAdam(lr)
-	idx := make([]int, len(samples))
+	idx := make([]int, count)
 	for i := range idx {
 		idx[i] = i
 	}
@@ -115,6 +118,7 @@ func (m *Model) fit(ctx context.Context, lr float64, rng *stats.Stream, samples 
 		res.EpochLoss = append(res.EpochLoss, ck.EpochLoss...)
 		startEpoch = ck.Epoch
 	}
+	var winBuf [][]float64 // scalar-path window gather, reused across samples
 	for epoch := startEpoch; epoch < epochs; epoch++ {
 		start := time.Now()
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
@@ -131,34 +135,37 @@ func (m *Model) fit(ctx context.Context, lr float64, rng *stats.Stream, samples 
 			}
 			if bt != nil {
 				hi := min(lo+B, len(idx))
-				sum += bt.trainBatch(samples, idx[lo:hi])
+				sum += bt.trainBatch(src, idx[lo:hi])
 			} else {
-				sum += m.trainStep(samples[idx[lo]])
+				i := idx[lo]
+				winBuf = src.WindowAppend(winBuf[:0], i)
+				lat, dropped, ecn := src.Target(i)
+				sum += m.trainStepWindow(winBuf, lat, dropped, ecn)
 			}
 			if m.Cfg.ClipNorm > 0 {
 				ClipGrads(params, m.Cfg.ClipNorm)
 			}
 			opt.Step(params)
 		}
-		if len(samples) > 0 {
+		if count > 0 {
 			obsTrainEpochs.Inc()
-			obsTrainSamples.Add(uint64(len(samples)))
-			obsTrainBatches.Add(uint64((len(samples) + B - 1) / B))
-			loss := sum / float64(len(samples))
+			obsTrainSamples.Add(uint64(count))
+			obsTrainBatches.Add(uint64((count + B - 1) / B))
+			loss := sum / float64(count)
 			res.EpochLoss = append(res.EpochLoss, loss)
 			if opts.Progress != nil {
 				sps := 0.0
 				if d := time.Since(start).Seconds(); d > 0 {
-					sps = float64(len(samples)) / d
+					sps = float64(count) / d
 				}
 				opts.Progress(TrainProgress{
 					Epoch: epoch + 1, Epochs: epochs, Loss: loss,
-					Samples: len(samples), SamplesPerSec: sps, BatchSize: B,
+					Samples: count, SamplesPerSec: sps, BatchSize: B,
 				})
 			}
 			if done := epoch + 1; opts.SaveCheckpoint != nil && opts.CheckpointEvery > 0 &&
 				(done%opts.CheckpointEvery == 0 || done == epochs) {
-				ck := m.captureCheckpoint(done, len(samples), rng, idx, opt, res.EpochLoss)
+				ck := m.captureCheckpoint(done, count, rng, idx, opt, res.EpochLoss)
 				if err := opts.SaveCheckpoint(ck); err != nil {
 					return res, fmt.Errorf("ml: checkpoint save at epoch %d: %w", done, err)
 				}
@@ -238,10 +245,13 @@ func newMiniBatchTrainer(m *Model, pool *Pool) *miniBatchTrainer {
 
 // trainBatch runs one fused forward+backward over the samples selected
 // by idx, accumulates parameter gradients for the mean loss of the
-// batch, and returns the summed (unscaled) per-sample loss.
-func (t *miniBatchTrainer) trainBatch(samples []Sample, idx []int) float64 {
+// batch, and returns the summed (unscaled) per-sample loss. Lanes
+// gather their window rows straight from the source — for a columnar
+// view that is a copy out of the shared flat matrix, no per-sample
+// window structure ever exists.
+func (t *miniBatchTrainer) trainBatch(src SampleSource, idx []int) float64 {
 	n := len(idx)
-	steps := len(samples[idx[0]].Window)
+	steps := src.Steps()
 	cfg := &t.m.Cfg
 	width := cfg.Features
 	H := cfg.Hidden
@@ -261,7 +271,7 @@ func (t *miniBatchTrainer) trainBatch(samples []Sample, idx []int) float64 {
 	for st := 0; st < steps; st++ {
 		cur, next := t.bufA, t.bufB
 		for a, i := range idx {
-			copy(cur[a*width:(a+1)*width], samples[i].Window[st])
+			copy(cur[a*width:(a+1)*width], src.Row(i, st))
 		}
 		for _, tl := range t.layers {
 			tl.forward(st, n, cur, next)
@@ -279,14 +289,13 @@ func (t *miniBatchTrainer) trainBatch(samples []Sample, idx []int) float64 {
 	invB := 1 / float64(n)
 	var sum float64
 	for a, i := range idx {
-		s := samples[i]
+		latTarget, dropped, ecn := src.Target(i)
 		pred := t.m.headsRow(out[a*H : (a+1)*H])
-		latTarget := s.Latency
 		dropTarget, ecnTarget := 0.0, 0.0
-		if s.Dropped {
+		if dropped {
 			dropTarget = 1
 		}
-		if s.ECN {
+		if ecn {
 			ecnTarget = 1
 		}
 		latLoss, dLat := cfg.LatLoss.Eval(pred.Latency, latTarget, cfg.HuberDelta)

@@ -8,37 +8,6 @@ import (
 	"mimicnet/internal/stats"
 )
 
-// synthSamples builds the synthetic task used across the trainer tests:
-// latency = mean of feature 0 over the window, drop iff feature 1 of the
-// last packet > 0, ECN iff feature 0 of the last packet > 0.7.
-func synthSamples(n, features, window int, seed int64) []Sample {
-	rng := stats.NewStream(seed)
-	out := make([]Sample, 0, n)
-	for i := 0; i < n; i++ {
-		var s Sample
-		var sum float64
-		for j := 0; j < window; j++ {
-			row := make([]float64, features)
-			row[0] = rng.Float64()
-			if features > 1 {
-				row[1] = rng.NormFloat64()
-			}
-			for k := 2; k < features; k++ {
-				row[k] = rng.Float64() - 0.5
-			}
-			s.Window = append(s.Window, row)
-			sum += row[0]
-		}
-		s.Latency = sum / float64(window)
-		if features > 1 {
-			s.Dropped = s.Window[window-1][1] > 0
-		}
-		s.ECN = s.Window[window-1][0] > 0.7
-		out = append(out, s)
-	}
-	return out
-}
-
 func cellConfigs() map[string]ModelConfig {
 	lstm := DefaultModelConfig(3, 5)
 	lstm.Hidden = 7
@@ -77,7 +46,7 @@ func TestBatchedGradMatchesSequential(t *testing.T) {
 
 			bat, _ := NewModel(cfg)
 			bt := newMiniBatchTrainer(bat, pool)
-			bt.trainBatch(samples, idx)
+			bt.trainBatch(samplesOf(samples), idx)
 
 			sp, bp := seq.Params(), bat.Params()
 			for pi := range sp {
@@ -105,14 +74,14 @@ func TestGenericTrainLayerMatchesFused(t *testing.T) {
 
 	fused, _ := NewModel(cfg)
 	bt := newMiniBatchTrainer(fused, pool)
-	bt.trainBatch(samples, idx)
+	bt.trainBatch(samplesOf(samples), idx)
 
 	gen, _ := NewModel(cfg)
 	gt := newMiniBatchTrainer(gen, pool)
 	for i := range gt.layers {
 		gt.layers[i] = &genericTrainLayer{c: gen.Trunk[i]}
 	}
-	gt.trainBatch(samples, idx)
+	gt.trainBatch(samplesOf(samples), idx)
 
 	fp, gp := fused.Params(), gen.Params()
 	for pi := range fp {

@@ -48,6 +48,13 @@ type SchedulerOptions struct {
 	CheckpointDir   string
 	CheckpointEvery int
 
+	// DatasetDir, when non-empty, enables the columnar dataset cache:
+	// small-scale datagen output is persisted there keyed by each job's
+	// DatasetKey, and later jobs that share the key (same datagen knobs,
+	// any model hyper-parameters) replay the file instead of re-running
+	// the small-scale simulation.
+	DatasetDir string
+
 	// runFn substitutes the job executor BEFORE recovered jobs are
 	// re-enqueued and workers start — the post-construction swap the
 	// stub tests use elsewhere would race against requeued work here.
@@ -134,6 +141,7 @@ func NewSchedulerWithOptions(reg *Registry, opt SchedulerOptions) (*Scheduler, *
 		hPhaseCompose: obs.NewHistogram(obs.TimeBuckets()),
 		ckptDir:       opt.CheckpointDir,
 		ckptEvery:     opt.CheckpointEvery,
+		dsDir:         opt.DatasetDir,
 	}
 	s.runFn = s.runJob
 	if opt.runFn != nil {

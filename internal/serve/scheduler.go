@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -192,6 +194,9 @@ type Scheduler struct {
 	cCancelled      obs.Counter
 	cRequeued       obs.Counter
 	cJournalErrs    obs.Counter
+	cDatasetHits    obs.Counter
+	cDatasetMisses  obs.Counter
+	cDatasetCorrupt obs.Counter
 	gRunning        obs.Gauge
 	hPhaseTrain     *obs.Histogram
 	hPhaseCompose   *obs.Histogram
@@ -205,6 +210,7 @@ type Scheduler struct {
 	jClosed   bool
 	ckptDir   string
 	ckptEvery int
+	dsDir     string // columnar dataset cache root ("" = disabled)
 
 	wg sync.WaitGroup
 
@@ -473,7 +479,7 @@ func (s *Scheduler) runJob(ctx context.Context, j *Job) {
 	}
 	t0 := time.Now()
 	models, hit, err := s.reg.Get(ctx, j.key, func() (*core.MimicModels, error) {
-		return trainForSpec(ctx, base, tcfg, j.spec, func(dir core.Direction, p ml.TrainProgress) {
+		return s.trainForSpec(ctx, base, tcfg, j.spec, func(dir core.Direction, p ml.TrainProgress) {
 			j.setTrainProgress(TrainProgress{
 				Direction:     dir.String(),
 				Epoch:         p.Epoch,
@@ -531,17 +537,18 @@ func (s *Scheduler) runJob(ctx context.Context, j *Job) {
 	j.finish(StateDone, sum, "")
 }
 
-// trainForSpec is the registry's materializer: data generation, training,
-// and optional hyper-parameter tuning. Data generation and the final
-// training honor ctx mid-phase (the tuning loop still only checks at
-// phase boundaries), and per-epoch progress streams through the callback.
-// A non-nil ckpt makes the final training durably resumable (tuning
-// trials are not checkpointed: they are many, short, and disposable).
-func trainForSpec(ctx context.Context, base cluster.Config, tcfg core.TrainConfig, spec JobSpec, progress core.TrainProgressFunc, ckpt *core.TrainCheckpointer) (*core.MimicModels, error) {
+// trainForSpec is the registry's materializer: data generation (or a
+// dataset-cache replay), training, and optional hyper-parameter tuning.
+// Data generation and the final training honor ctx mid-phase (the
+// tuning loop still only checks at phase boundaries), and per-epoch
+// progress streams through the callback. A non-nil ckpt makes the final
+// training durably resumable (tuning trials are not checkpointed: they
+// are many, short, and disposable).
+func (s *Scheduler) trainForSpec(ctx context.Context, base cluster.Config, tcfg core.TrainConfig, spec JobSpec, progress core.TrainProgressFunc, ckpt *core.TrainCheckpointer) (*core.MimicModels, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ing, eg, _, err := core.GenerateTrainingDataContext(ctx, base, spec.smallRunTime(), tcfg)
+	ing, eg, err := s.datasetsForSpec(ctx, base, tcfg, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -568,4 +575,39 @@ func trainForSpec(ctx context.Context, base cluster.Config, tcfg core.TrainConfi
 	}
 	models, _, _, err := core.TrainModelsCkpt(ctx, ing, eg, tcfg, progress, ckpt)
 	return models, err
+}
+
+// datasetsForSpec produces the two per-direction datasets, preferring
+// the persisted columnar cache when a dataset directory is configured.
+// A corrupt cache entry is removed and regenerated — the file is a pure
+// cache, never the source of truth. Cache write failures are likewise
+// non-fatal: the freshly generated datasets train this job either way.
+func (s *Scheduler) datasetsForSpec(ctx context.Context, base cluster.Config, tcfg core.TrainConfig, spec JobSpec) (ing, eg *core.Dataset, err error) {
+	if s.dsDir == "" {
+		ing, eg, _, err = core.GenerateTrainingDataContext(ctx, base, spec.smallRunTime(), tcfg)
+		return ing, eg, err
+	}
+	key, err := core.DatasetKey(base, spec.smallRunTime(), tcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	path := filepath.Join(s.dsDir, key+".dset")
+	ing, eg, rerr := core.ReadDatasetFile(path)
+	if rerr == nil {
+		s.cDatasetHits.Inc()
+		return ing, eg, nil
+	}
+	if errors.Is(rerr, durable.ErrCorrupt) {
+		s.cDatasetCorrupt.Inc()
+		os.Remove(path)
+	}
+	s.cDatasetMisses.Inc()
+	ing, eg, _, err = core.GenerateTrainingDataContext(ctx, base, spec.smallRunTime(), tcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := os.MkdirAll(s.dsDir, 0o755); err == nil {
+		core.WriteDatasetFile(path, ing, eg)
+	}
+	return ing, eg, nil
 }

@@ -203,6 +203,19 @@ func (s JobSpec) ModelKey() (string, error) {
 	return core.ModelKey(base, msToSim(s.SmallRunMs), tcfg, extra)
 }
 
+// DatasetKey returns the content address of the columnar datasets this
+// spec's small-scale datagen run would produce (core.DatasetKey over the
+// datagen-relevant subset). Deliberately coarser than ModelKey: specs
+// that differ only in model hyper-parameters or tuning budget share one
+// persisted dataset.
+func (s JobSpec) DatasetKey() (string, error) {
+	base, tcfg, err := s.Configs()
+	if err != nil {
+		return "", err
+	}
+	return core.DatasetKey(base, msToSim(s.SmallRunMs), tcfg)
+}
+
 func msToSim(ms float64) sim.Time { return sim.FromSeconds(ms / 1e3) }
 
 func (s JobSpec) runTime() sim.Time      { return msToSim(s.RunMs) }

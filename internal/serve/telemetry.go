@@ -28,6 +28,12 @@ func (s *Scheduler) ExposeTo(r *obs.Registry) {
 		"Unfinished journaled jobs re-enqueued by crash recovery.", &s.cRequeued)
 	r.RegisterCounter("mimicnet_serve_journal_errors_total",
 		"Job-journal append/compact failures (job kept running).", &s.cJournalErrs)
+	r.RegisterCounter(`mimicnet_serve_dataset_cache_total{result="hit"}`,
+		"Columnar dataset cache lookups by outcome.", &s.cDatasetHits)
+	r.RegisterCounter(`mimicnet_serve_dataset_cache_total{result="miss"}`,
+		"Columnar dataset cache lookups by outcome.", &s.cDatasetMisses)
+	r.RegisterCounter(`mimicnet_serve_dataset_cache_total{result="corrupt"}`,
+		"Columnar dataset cache lookups by outcome.", &s.cDatasetCorrupt)
 	r.RegisterGauge("mimicnet_serve_jobs_running",
 		"Jobs currently executing on the worker pool.", &s.gRunning)
 	r.GaugeFunc("mimicnet_serve_queue_depth",
