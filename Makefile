@@ -27,16 +27,21 @@ vet:
 # (scalar, sse2, avx2 when the CPU has it) plus the purego build, so a
 # kernel can't pass CI only because it happened to be the default pick.
 # All families are bitwise identical, so the same tests must pass
-# unchanged under each.
+# unchanged under each — including the engine-vs-legacy golden parity
+# suite, whose fingerprints are kernel-independent for the same reason.
 test-kernels:
 	MIMICNET_GEMM=scalar $(GO) test -count=1 ./internal/ml
+	MIMICNET_GEMM=scalar $(GO) test -count=1 -run TestEngineGoldenParity ./internal/core
 	MIMICNET_GEMM=sse2 $(GO) test -count=1 ./internal/ml
+	MIMICNET_GEMM=sse2 $(GO) test -count=1 -run TestEngineGoldenParity ./internal/core
 	@if grep -q avx2 /proc/cpuinfo 2>/dev/null; then \
 		MIMICNET_GEMM=avx2 $(GO) test -count=1 ./internal/ml; \
+		MIMICNET_GEMM=avx2 $(GO) test -count=1 -run TestEngineGoldenParity ./internal/core; \
 	else \
 		echo "skipping MIMICNET_GEMM=avx2 (CPU lacks AVX2)"; \
 	fi
 	GOFLAGS=-tags=purego $(GO) test -count=1 ./internal/ml
+	GOFLAGS=-tags=purego $(GO) test -count=1 -run TestEngineGoldenParity ./internal/core
 
 # Known-vulnerability scan, gated on the tool being installed: the build
 # environment is hermetic (no network, no `go install`), so CI machines

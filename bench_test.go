@@ -477,6 +477,19 @@ type composeModeStats struct {
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 }
 
+// composeBaselinePreRefactor is this benchmark's output measured at the
+// last commit where Composed was its own runtime, immediately before the
+// role-based engine replaced it (same machine, same config). It is
+// embedded in BENCH_compose.json next to the fresh rows so the
+// refactor's zero-regression claim stays checkable from the artifact
+// alone.
+var composeBaselinePreRefactor = []composeModeStats{
+	{Mode: "sequential", Workers: 0, Runs: 3, EventsPerRun: 115081,
+		NsPerSimSecond: 779284904.4, EventsPerSec: 984500.9, AllocsPerEvent: 2.2203},
+	{Mode: "sharded/w=8", Workers: 8, Runs: 3, EventsPerRun: 115925,
+		NsPerSimSecond: 1098063120, EventsPerSec: 703815.0, AllocsPerEvent: 2.8386},
+}
+
 // BenchmarkComposedRun measures the production composed estimate at N=8
 // clusters: the sequential event loop versus the sharded
 // one-LP-per-cluster run (the tentpole of the sharding PR). Each
@@ -503,9 +516,14 @@ func BenchmarkComposedRun(b *testing.B) {
 		name       string
 		shardedRun int
 		workers    int
+		roleVector bool // construct via NewEngine+ComposedRoles instead of Compose
 	}{
-		{"sequential", -1, 0},
-		{"sharded/w=8", 1, 8},
+		{"sequential", -1, 0, false},
+		{"sharded/w=8", 1, 8, false},
+		// The same composition through the explicit role-vector API —
+		// Compose is a thin wrapper over it, so this row pins the direct
+		// engine path's cost at the wrapper's level.
+		{"engine-roles/w=8", 1, 8, true},
 	} {
 		m := m
 		b.Run(m.name, func(b *testing.B) {
@@ -519,7 +537,13 @@ func BenchmarkComposedRun(b *testing.B) {
 				cfg.Topo = cfg.Topo.WithClusters(clusters)
 				cfg.ShardedRun = m.shardedRun
 				cfg.NumWorkers = m.workers
-				comp, err := core.Compose(cfg, art.Models)
+				var comp *core.Engine
+				var err error
+				if m.roleVector {
+					comp, err = core.NewEngine(cfg, core.ComposedRoles(clusters), art.Models)
+				} else {
+					comp, err = core.Compose(cfg, art.Models)
+				}
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -558,7 +582,11 @@ func BenchmarkComposedRun(b *testing.B) {
 		for _, name := range order {
 			rows = append(rows, report[name])
 		}
-		data, err := json.MarshalIndent(rows, "", "  ")
+		out := struct {
+			PreRefactor []composeModeStats `json:"pre_refactor_baseline"`
+			Modes       []composeModeStats `json:"modes"`
+		}{composeBaselinePreRefactor, rows}
+		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			b.Fatal(err)
 		}

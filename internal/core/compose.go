@@ -1,587 +1,24 @@
 package core
 
 import (
-	"context"
-	"fmt"
-	"strconv"
-
 	"mimicnet/internal/cluster"
-	"mimicnet/internal/metrics"
-	"mimicnet/internal/netsim"
-	"mimicnet/internal/obs"
-	"mimicnet/internal/sim"
-	"mimicnet/internal/stats"
-	"mimicnet/internal/topo"
-	"mimicnet/internal/transport"
-	"mimicnet/internal/workload"
 )
 
 // Composed is an N-cluster MimicNet simulation: one real (observable)
 // cluster plus N−1 Mimic clusters and a proportional number of Core
-// switches (paper §7.1). The observable cluster, the core fabric, and the
-// remote transport endpoints of observable flows run at full fidelity;
-// everything inside Mimic clusters is predicted by the trained models,
-// with feeders standing in for Mimic-Mimic traffic.
-//
-// A composition runs either sequentially (one event queue) or sharded
-// into one logical process per cluster (cfg.Sharded()), with core
-// switches riding on the observable cluster's LP. Mimic clusters interact
-// with the rest of the network only through inter-cluster links and the
-// egress model's latency floor, which bounds the PDES lookahead; remote
-// events are delivered in deterministic (time, source LP, sequence)
-// order, so both modes produce bitwise-identical Results.
-type Composed struct {
-	Cfg    cluster.Config
-	Sim    *sim.Simulator // the observable shard's simulator
-	Topo   *topo.Topology
-	Fabric *netsim.Fabric
-	Mimics []*Mimic // indexed by cluster; nil for the observable
-
-	shards []*shardCtx   // one per LP; a single entry when sequential
-	par    *sim.Parallel // nil when sequential
-	hosts  []*transport.Host
-	flows  []workload.Flow
-	models *MimicModels
-
-	// Progress, if set, is invoked periodically from RunContext's run
-	// loop (per window barrier when sharded, every
-	// cluster.CancelCheckEvery events when sequential) with the
-	// simulated clock and total events processed.
-	Progress func(now sim.Time, events uint64)
-
-	cancelled bool
-}
-
-// shardCtx is the per-logical-process slice of a composition: its
-// simulator, transport environment, metrics collector, inference
-// scheduler, and counters. Every field is written only by the owning
-// LP's goroutine, so sharded runs count and collect without locks; the
-// padding keeps neighboring shards' hot counters off each other's cache
-// lines.
-type shardCtx struct {
-	sim   *sim.Simulator
-	env   *transport.Env
-	coll  *metrics.Collector
-	sched *InferenceScheduler // nil under SequentialInference
-
-	flowsStarted   int
-	flowsCompleted int
-	dropsIngress   uint64
-	dropsEgress    uint64
-	feederEvents   uint64
-	modelPackets   uint64 // Hybrid only
-	modelDrops     uint64 // Hybrid only
-	_              [8]uint64
-}
-
-const observable = 0
-
-// shardIdx maps a cluster index to its logical process: cluster i runs on
-// LP i; core switches (ClusterOf == -1) ride with the observable on LP 0.
-// Sequential compositions collapse everything onto the single shard.
-func (c *Composed) shardIdx(clusterIdx int) int {
-	if c.par == nil || clusterIdx < 0 {
-		return 0
-	}
-	return clusterIdx
-}
-
-func (c *Composed) shardFor(clusterIdx int) *shardCtx {
-	return c.shards[c.shardIdx(clusterIdx)]
-}
-
-// composedLookahead returns the PDES lookahead for a composed topology:
-// the minimum latency of any cross-LP channel. Core->Agg links bound one
-// direction (propagation delay); the egress model's latency floor bounds
-// the other (a Mimic host's packet re-materializes at a core switch no
-// earlier than Lo after injection). Non-positive means the models give no
-// usable margin and the composition must run sequentially.
-func composedLookahead(link netsim.LinkConfig, models *MimicModels) sim.Time {
-	la := link.Delay
-	if egLo := sim.FromSeconds(models.Egress.Bounds.Lo); egLo < la {
-		la = egLo
-	}
-	return la
-}
-
-// shardedWindow caps the inference collection window so the egress
-// continuation margin (Lo - window) never drops below the lookahead.
-func shardedWindow(window, lookahead sim.Time, models *MimicModels) sim.Time {
-	cap := sim.FromSeconds(models.Egress.Bounds.Lo) - lookahead
-	if window > cap {
-		window = cap
-	}
-	if window < 0 {
-		window = 0
-	}
-	return window
-}
+// switches (paper §7.1). It is the Engine built from ComposedRoles —
+// see engine.go for the runtime; this alias keeps the historical name
+// used throughout the experiments, tuning, and serving code.
+type Composed = Engine
 
 // Compose builds the large-scale approximate simulation. cfg.Topo.Clusters
 // sets N; all other parameters should match the small-scale run that
 // trained the models ("Aside from the number of clusters, all other
 // parameters are kept constant", §7.1).
 func Compose(cfg cluster.Config, models *MimicModels) (*Composed, error) {
-	if cfg.Protocol == nil {
-		return nil, fmt.Errorf("core: config needs a protocol")
+	n := cfg.Topo.Clusters
+	if n < 0 {
+		n = 0 // invalid; NewEngine reports the real error
 	}
-	if err := cfg.Topo.Validate(); err != nil {
-		return nil, err
-	}
-	if cfg.Topo.Clusters < 2 {
-		return nil, fmt.Errorf("core: composition needs >= 2 clusters")
-	}
-	if models == nil || models.Ingress == nil || models.Egress == nil {
-		return nil, fmt.Errorf("core: missing trained models")
-	}
-	got := NewFeatureSpec(cfg.Topo)
-	got.SkipCongestion = models.Spec.SkipCongestion
-	if got.Width() != models.Spec.Width() {
-		return nil, fmt.Errorf("core: feature spec mismatch: models trained for width %d, topology needs %d (per-cluster structure must not change)",
-			models.Spec.Width(), got.Width())
-	}
-	cfg.Observable = observable
-
-	t := topo.New(cfg.Topo)
-	cfg.Workload.HostLinkBps = cfg.Link.RateBps
-	allFlows, err := workload.Generate(t, cfg.Workload)
-	if err != nil {
-		return nil, err
-	}
-	// Only traffic touching the observable cluster is simulated as real
-	// packets; the rest is approximated by the feeders.
-	flows := make([]workload.Flow, 0, len(allFlows))
-	for _, f := range allFlows {
-		if t.ClusterOf(f.Src) == observable || t.ClusterOf(f.Dst) == observable {
-			flows = append(flows, f)
-		}
-	}
-
-	link := cfg.Link
-	link.SwitchQueue = cfg.QueueFactory()
-
-	lookahead := composedLookahead(link, models)
-	sharded := cfg.Sharded() && lookahead > 0
-
-	c := &Composed{
-		Cfg: cfg, Topo: t,
-		flows:  flows,
-		models: models,
-		Mimics: make([]*Mimic, cfg.Topo.Clusters),
-	}
-
-	if sharded {
-		c.par = sim.NewParallel(cfg.Topo.Clusters, lookahead)
-		c.par.NumWorkers = cfg.ShardWorkers()
-		c.shards = make([]*shardCtx, cfg.Topo.Clusters)
-		for i := range c.shards {
-			c.shards[i] = &shardCtx{sim: c.par.LPs[i].Sim, coll: metrics.NewCollector()}
-		}
-		shardOf := make([]int, t.Nodes())
-		for n := range shardOf {
-			if cl := t.ClusterOf(n); cl > 0 {
-				shardOf[n] = cl
-			}
-		}
-		c.Fabric = netsim.NewShardedFabric(c.par.LPs, shardOf, t, link)
-	} else {
-		c.shards = []*shardCtx{{sim: sim.New(), coll: metrics.NewCollector()}}
-		c.Fabric = netsim.NewFabric(c.shards[0].sim, t, link)
-	}
-	c.Sim = c.shards[0].sim
-
-	for i := 1; i < cfg.Topo.Clusters; i++ {
-		c.Mimics[i] = NewMimic(models, i, cfg.Workload.Seed)
-	}
-	if !cfg.SequentialInference {
-		w := cfg.BatchWindow
-		if w == 0 {
-			w = DefaultBatchWindow(models)
-		}
-		if sharded {
-			// Per-LP schedulers: each Mimic cluster batches its own
-			// window, with the window capped for cross-LP causality.
-			w = shardedWindow(w, lookahead, models)
-			for i := 1; i < cfg.Topo.Clusters; i++ {
-				sh := c.shards[i]
-				sh.sched = NewInferenceScheduler(sh.sim, models, w)
-				c.Mimics[i].AttachScheduler(sh.sched)
-			}
-		} else {
-			sched := NewInferenceScheduler(c.Sim, models, w)
-			c.shards[0].sched = sched
-			for i := 1; i < cfg.Topo.Clusters; i++ {
-				c.Mimics[i].AttachScheduler(sched)
-			}
-		}
-	}
-
-	for si, sh := range c.shards {
-		sh := sh
-		sh.env = &transport.Env{
-			Sim:      sh.sim,
-			MSS:      netsim.MSS,
-			BDPBytes: cfg.BDPBytes(),
-			Inject:   c.inject,
-			OnRTT: func(f *transport.Flow, sec float64) {
-				if t.ClusterOf(f.Src) == observable {
-					sh.coll.RTTSample(sec)
-				}
-			},
-			OnComplete: func(f *transport.Flow) {
-				sh.coll.FlowCompleted(strconv.FormatUint(f.ID, 10), sh.sim.Now())
-				sh.flowsCompleted++
-			},
-		}
-		_ = si
-	}
-
-	c.hosts = make([]*transport.Host, t.Hosts())
-	for h := 0; h < t.Hosts(); h++ {
-		h := h
-		sh := c.shardFor(t.ClusterOf(h))
-		host := transport.NewHost(h, sh.env, func(f *transport.Flow) *transport.Receiver {
-			r := transport.NewReceiver(sh.env, f)
-			if transport.IsHoma(cfg.Protocol) {
-				bdp := sh.env.BDPBytes
-				r.EnableGranting(func(remaining int64) int {
-					return transport.HomaPriority(remaining, bdp)
-				})
-			}
-			if t.ClusterOf(h) == observable {
-				r.OnDeliver = func(n int64) {
-					sh.coll.BytesReceived(h, n, sh.sim.Now())
-				}
-			}
-			return r
-		})
-		c.hosts[h] = host
-		c.Fabric.RegisterHost(h, host.Receive)
-	}
-
-	c.Fabric.SetIntercept(c.interceptIngress)
-
-	for _, f := range flows {
-		f := f
-		c.shardFor(t.ClusterOf(f.Src)).sim.At(f.Start, func() { c.startFlow(f) })
-	}
-	c.startFeeders()
-	return c, nil
-}
-
-// inject routes transport packets: observable-cluster sources use the
-// real fabric; Mimic-cluster sources pass through the egress model first.
-// It always executes on the LP owning pkt.Src's host.
-func (c *Composed) inject(pkt *netsim.Packet) {
-	pkt.Path = c.Topo.Path(pkt.Src, pkt.Dst, pkt.Hash)
-	srcCluster := c.Topo.ClusterOf(pkt.Src)
-	if srcCluster == observable {
-		c.Fabric.Inject(pkt)
-		return
-	}
-	sh := c.shardFor(srcCluster)
-	mimic := c.Mimics[srcCluster]
-	info := BuildPacketInfo(c.Topo, srcCluster, pkt, pkt.Src, sh.sim.Now())
-	mimic.ProcessEgressAsync(info, func(out Outcome) {
-		if out.Dropped {
-			sh.dropsEgress++
-			return
-		}
-		if out.ECNMark {
-			pkt.CE = true
-		}
-		// Find the core hop: the packet materializes there after the
-		// predicted in-cluster latency; core and observable-cluster hops
-		// are then simulated at full fidelity.
-		coreHop := -1
-		for i, node := range pkt.Path {
-			if c.Topo.KindOf(node) == topo.KindCore {
-				coreHop = i
-				break
-			}
-		}
-		if coreHop < 0 {
-			// Both endpoints inside the same Mimic should never reach
-			// here (such flows are filtered); treat as model-internal
-			// and drop.
-			sh.dropsEgress++
-			return
-		}
-		// The latency is relative to arrival; under batched inference
-		// the callback runs at flush time, so schedule at the absolute
-		// instant (clamped in case a custom window outran causality).
-		at := info.ArrivalTime + out.Latency
-		if now := sh.sim.Now(); at < now {
-			at = now
-		}
-		materialize := func() { c.Fabric.InjectAt(pkt, coreHop) }
-		if c.par != nil {
-			// The core switch lives on LP 0: cross the boundary as a
-			// remote event. The sharded batch window is capped so this
-			// send is always at least one lookahead ahead.
-			c.par.LPs[srcCluster].SendTo(c.par.LPs[0], at, materialize)
-			return
-		}
-		sh.sim.At(at, materialize)
-	})
-}
-
-// interceptIngress swallows packets descending into a Mimic cluster and
-// replaces the in-cluster journey with the ingress model's prediction.
-// The fabric calls it on the LP owning the Agg switch, i.e. the Mimic's
-// own shard; the predicted delivery is local to that shard too.
-func (c *Composed) interceptIngress(node int, pkt *netsim.Packet) bool {
-	t := c.Topo
-	if t.KindOf(node) != topo.KindAgg {
-		return false
-	}
-	clusterIdx := t.ClusterOf(node)
-	if clusterIdx == observable {
-		return false
-	}
-	if t.ClusterOf(pkt.Dst) != clusterIdx {
-		return false
-	}
-	sh := c.shardFor(clusterIdx)
-	mimic := c.Mimics[clusterIdx]
-	info := BuildPacketInfo(t, clusterIdx, pkt, pkt.Dst, sh.sim.Now())
-	mimic.ProcessIngressAsync(info, func(out Outcome) {
-		if out.Dropped {
-			sh.dropsIngress++
-			return
-		}
-		if out.ECNMark {
-			pkt.CE = true
-		}
-		dst := pkt.Dst
-		at := info.ArrivalTime + out.Latency
-		if now := sh.sim.Now(); at < now {
-			at = now
-		}
-		sh.sim.At(at, func() {
-			c.hosts[dst].Receive(pkt)
-		})
-	})
-	return true
-}
-
-func (c *Composed) startFlow(f workload.Flow) {
-	sh := c.shardFor(c.Topo.ClusterOf(f.Src))
-	tf := &transport.Flow{
-		ID: f.ID, Src: f.Src, Dst: f.Dst, Bytes: f.Bytes,
-		Hash: topo.FlowHash(f.Src, f.Dst, f.ID),
-	}
-	sender := c.Cfg.Protocol.NewSender(sh.env, tf)
-	c.hosts[f.Src].AddSender(f.ID, sender)
-	sh.coll.FlowStarted(strconv.FormatUint(f.ID, 10), f.Src, f.Dst, f.Bytes, sh.sim.Now())
-	sh.flowsStarted++
-	sender.Start()
-}
-
-// startFeeders schedules the per-Mimic, per-direction synthetic traffic
-// that keeps internal model state realistic without simulating packets.
-// Feeder events are local to the Mimic's own shard.
-func (c *Composed) startFeeders() {
-	n := c.Cfg.Topo.Clusters
-	if n <= 2 {
-		return // all external traffic is real in a 2-cluster composition
-	}
-	for idx := 1; idx < n; idx++ {
-		mimic := c.Mimics[idx]
-		sh := c.shardFor(idx)
-		for _, dir := range []Direction{Ingress, Egress} {
-			dm := c.models.Ingress
-			feed := mimic.FeedIngress
-			if dir == Egress {
-				dm = c.models.Egress
-				feed = mimic.FeedEgress
-			}
-			rng := stats.NewStream(c.Cfg.Workload.Seed).Derive(
-				fmt.Sprintf("feeder-%d-%s", idx, dir))
-			var schedule func()
-			schedule = func() {
-				gap := FeederGap(dm, rng, n)
-				if gap <= 0 {
-					return
-				}
-				sh.sim.After(gap, func() {
-					sh.feederEvents++
-					feed(sh.sim.Now())
-					schedule()
-				})
-			}
-			schedule()
-		}
-	}
-}
-
-// Flows returns the real (observable-touching) flow schedule.
-func (c *Composed) Flows() []workload.Flow { return c.flows }
-
-// Scheduler exposes the batched inference scheduler: the single global
-// one when sequential, the first Mimic shard's when sharded (each shard
-// owns an identical-configured instance). Nil under SequentialInference.
-func (c *Composed) Scheduler() *InferenceScheduler {
-	for _, sh := range c.shards {
-		if sh.sched != nil {
-			return sh.sched
-		}
-	}
-	return nil
-}
-
-// Sharded reports whether this composition runs as parallel LPs.
-func (c *Composed) Sharded() bool { return c.par != nil }
-
-// Parallel exposes the PDES coordinator (nil when sequential), for
-// inspection of barrier and causality-clamp counts.
-func (c *Composed) Parallel() *sim.Parallel { return c.par }
-
-// FlowsStarted returns the number of real flows started.
-func (c *Composed) FlowsStarted() int {
-	total := 0
-	for _, sh := range c.shards {
-		total += sh.flowsStarted
-	}
-	return total
-}
-
-// FlowsCompleted returns the number of real flows completed.
-func (c *Composed) FlowsCompleted() int {
-	total := 0
-	for _, sh := range c.shards {
-		total += sh.flowsCompleted
-	}
-	return total
-}
-
-// MimicDropsIngress returns packets the ingress models predicted dropped.
-func (c *Composed) MimicDropsIngress() uint64 {
-	var total uint64
-	for _, sh := range c.shards {
-		total += sh.dropsIngress
-	}
-	return total
-}
-
-// MimicDropsEgress returns packets the egress models predicted dropped.
-func (c *Composed) MimicDropsEgress() uint64 {
-	var total uint64
-	for _, sh := range c.shards {
-		total += sh.dropsEgress
-	}
-	return total
-}
-
-// FeederEvents returns the number of synthetic feeder advances.
-func (c *Composed) FeederEvents() uint64 {
-	var total uint64
-	for _, sh := range c.shards {
-		total += sh.feederEvents
-	}
-	return total
-}
-
-// Run advances the composed simulation. Under batched inference, any
-// requests still collecting when the horizon hits are flushed so that
-// model state, RNG streams, and drop accounting match the inline path.
-func (c *Composed) Run(until sim.Time) {
-	sp := obs.StartSpan(obsPhaseCompose)
-	if c.par != nil {
-		c.par.Run(until) // the PDES coordinator publishes its own event deltas
-	} else {
-		pre := c.Sim.Processed()
-		c.Sim.RunUntil(until)
-		sim.CountKernelEvents(c.Sim.Processed() - pre)
-	}
-	c.flushSchedulers()
-	sp.End()
-}
-
-func (c *Composed) flushSchedulers() {
-	for _, sh := range c.shards {
-		if sh.sched != nil {
-			sh.sched.Flush()
-		}
-	}
-}
-
-// RunContext is Run with cooperative cancellation and progress. The
-// cancellation check rides the window barrier when sharded (windows are a
-// lookahead of simulated time, microseconds of wall-clock) and a
-// per-event ticker when sequential, so a killed job stops promptly in
-// either mode without perturbing an uncancelled run. On cancellation the
-// schedulers are still flushed — model state, RNG streams, and drop
-// accounting stay consistent — and the metrics collected so far remain
-// valid; Results then reports Cancelled rather than the work being
-// abandoned silently. Returns true when the run was cancelled.
-func (c *Composed) RunContext(ctx context.Context, until sim.Time) (cancelled bool) {
-	if ctx == nil || (ctx.Done() == nil && c.Progress == nil) {
-		c.Run(until)
-		return false
-	}
-	defer obs.StartSpan(obsPhaseCompose).End()
-	tick := func(now sim.Time, events uint64) bool {
-		if c.Progress != nil {
-			c.Progress(now, events)
-		}
-		if ctx.Err() != nil {
-			c.cancelled = true
-			return true
-		}
-		return false
-	}
-	if c.par != nil {
-		c.par.Ticker = tick
-		defer func() { c.par.Ticker = nil }()
-		c.par.Run(until)
-	} else {
-		pre := c.Sim.Processed()
-		c.Sim.SetTicker(cluster.CancelCheckEvery, tick)
-		defer c.Sim.SetTicker(0, nil)
-		c.Sim.RunUntil(until)
-		sim.CountKernelEvents(c.Sim.Processed() - pre)
-	}
-	c.flushSchedulers()
-	return c.cancelled
-}
-
-// Results snapshots the collected metrics in the same shape as a
-// full-fidelity run, so they can be compared directly. Sharded shards'
-// collectors merge losslessly: every flow's records live entirely on its
-// source host's LP and all distribution outputs are sorted.
-func (c *Composed) Results() cluster.Results {
-	coll := c.shards[0].coll
-	if len(c.shards) > 1 {
-		colls := make([]*metrics.Collector, len(c.shards))
-		for i, sh := range c.shards {
-			colls[i] = sh.coll
-		}
-		coll = metrics.Merged(colls...)
-	}
-	var events uint64
-	for _, sh := range c.shards {
-		events += sh.sim.Processed()
-	}
-	return cluster.Results{
-		FCTs:        coll.FCTs(),
-		Throughputs: coll.Throughputs(),
-		RTTs:        coll.RTTs(),
-		FCTByID:     coll.FCTByID(),
-		Events:      events,
-		Packets:     c.Fabric.Injected(),
-		Drops:       c.Fabric.Drops() + c.MimicDropsIngress() + c.MimicDropsEgress(),
-		Cancelled:   c.cancelled,
-	}
-}
-
-// InferenceSteps totals LSTM steps across all Mimics (Figure 23).
-func (c *Composed) InferenceSteps() uint64 {
-	var total uint64
-	for _, m := range c.Mimics {
-		if m != nil {
-			total += m.InferenceSteps()
-		}
-	}
-	return total
+	return NewEngine(cfg, ComposedRoles(n), models)
 }

@@ -1,16 +1,11 @@
 package core
 
 import (
-	"fmt"
-	"strconv"
+	"sync"
 
 	"mimicnet/internal/cluster"
 	"mimicnet/internal/metrics"
-	"mimicnet/internal/netsim"
 	"mimicnet/internal/sim"
-	"mimicnet/internal/topo"
-	"mimicnet/internal/transport"
-	"mimicnet/internal/workload"
 )
 
 // This file implements the paper's Appendix B: separate ingress/egress
@@ -26,333 +21,36 @@ import (
 // is preserved — corresponds here to *not* removing the modeled cluster's
 // network: the packet is duplicated conceptually, with the model's output
 // used for delivery and the real network's copy retained for congestion.
+//
+// The runtime is the role-based Engine (engine.go) built from
+// HybridRoles: cluster 0 observed, cluster 1 RoleHybridIngress or
+// RoleHybridEgress.
 
 // HybridDirection selects which direction the model under test handles.
 type HybridDirection = Direction
 
 // Hybrid is a 2-cluster simulation in which one direction of the modeled
-// cluster's external traffic is served by the trained internal model.
-//
-// Like Composed, a hybrid runs either sequentially or sharded into two
-// logical processes (cluster 0 plus the cores, and the modeled cluster),
-// with identical Results either way.
-type Hybrid struct {
-	Dir    Direction
-	Sim    *sim.Simulator // shard 0's simulator
-	Topo   *topo.Topology
-	Fabric *netsim.Fabric
-
-	cfg    cluster.Config
-	mimic  *Mimic
-	shards []*shardCtx
-	par    *sim.Parallel // nil when sequential
-	hosts  []*transport.Host
-	flows  []workload.Flow
-}
-
-const hybridModeled = 1 // cluster 1 is modeled, as in training
+// cluster's external traffic is served by the trained internal model. It
+// is the Engine built from HybridRoles; this alias keeps the historical
+// name.
+type Hybrid = Engine
 
 // NewHybrid builds the test framework for one direction. cfg must be the
 // 2-cluster base configuration the models were trained from.
 func NewHybrid(cfg cluster.Config, models *MimicModels, dir Direction) (*Hybrid, error) {
-	if cfg.Protocol == nil {
-		return nil, fmt.Errorf("core: hybrid needs a protocol")
-	}
 	cfg.Topo = cfg.Topo.WithClusters(2)
-	cfg.Observable = 0
-	if err := cfg.Topo.Validate(); err != nil {
-		return nil, err
-	}
-	if models == nil || models.Ingress == nil || models.Egress == nil {
-		return nil, fmt.Errorf("core: hybrid needs trained models")
-	}
-	t := topo.New(cfg.Topo)
-	cfg.Workload.HostLinkBps = cfg.Link.RateBps
-	flows, err := workload.Generate(t, cfg.Workload)
-	if err != nil {
-		return nil, err
-	}
-	link := cfg.Link
-	link.SwitchQueue = cfg.QueueFactory()
-
-	lookahead := composedLookahead(link, models)
-	sharded := cfg.Sharded() && lookahead > 0
-
-	h := &Hybrid{
-		Dir: dir, Topo: t,
-		cfg:   cfg,
-		mimic: NewMimic(models, hybridModeled, cfg.Workload.Seed),
-		flows: flows,
-	}
-	if sharded {
-		h.par = sim.NewParallel(2, lookahead)
-		h.par.NumWorkers = cfg.ShardWorkers()
-		h.shards = []*shardCtx{
-			{sim: h.par.LPs[0].Sim, coll: metrics.NewCollector()},
-			{sim: h.par.LPs[1].Sim, coll: metrics.NewCollector()},
-		}
-		shardOf := make([]int, t.Nodes())
-		for n := range shardOf {
-			if t.ClusterOf(n) == hybridModeled {
-				shardOf[n] = 1
-			}
-		}
-		h.Fabric = netsim.NewShardedFabric(h.par.LPs, shardOf, t, link)
-	} else {
-		h.shards = []*shardCtx{{sim: sim.New(), coll: metrics.NewCollector()}}
-		h.Fabric = netsim.NewFabric(h.shards[0].sim, t, link)
-	}
-	h.Sim = h.shards[0].sim
-
-	if !cfg.SequentialInference {
-		w := cfg.BatchWindow
-		if w == 0 {
-			w = DefaultBatchWindow(models)
-		}
-		if sharded {
-			w = shardedWindow(w, lookahead, models)
-		}
-		// The mimic's inference runs where its cluster lives: shard 1
-		// when sharded, the single shard otherwise.
-		msh := h.shardFor(hybridModeled)
-		msh.sched = NewInferenceScheduler(msh.sim, models, w)
-		h.mimic.AttachScheduler(msh.sched)
-	}
-
-	for _, sh := range h.shards {
-		sh := sh
-		sh.env = &transport.Env{
-			Sim:      sh.sim,
-			MSS:      netsim.MSS,
-			BDPBytes: cfg.BDPBytes(),
-			Inject:   h.inject,
-			OnRTT: func(f *transport.Flow, sec float64) {
-				if t.ClusterOf(f.Src) == cfg.Observable {
-					sh.coll.RTTSample(sec)
-				}
-			},
-			OnComplete: func(f *transport.Flow) {
-				sh.coll.FlowCompleted(strconv.FormatUint(f.ID, 10), sh.sim.Now())
-				sh.flowsCompleted++
-			},
-		}
-	}
-	h.hosts = make([]*transport.Host, t.Hosts())
-	for i := 0; i < t.Hosts(); i++ {
-		i := i
-		sh := h.shardFor(t.ClusterOf(i))
-		host := transport.NewHost(i, sh.env, func(f *transport.Flow) *transport.Receiver {
-			r := transport.NewReceiver(sh.env, f)
-			if transport.IsHoma(cfg.Protocol) {
-				bdp := sh.env.BDPBytes
-				r.EnableGranting(func(remaining int64) int {
-					return transport.HomaPriority(remaining, bdp)
-				})
-			}
-			if t.ClusterOf(i) == cfg.Observable {
-				r.OnDeliver = func(n int64) { sh.coll.BytesReceived(i, n, sh.sim.Now()) }
-			}
-			return r
-		})
-		h.hosts[i] = host
-		h.Fabric.RegisterHost(i, host.Receive)
-	}
-
-	if dir == Ingress {
-		// The ingress model handles packets descending into cluster 1;
-		// everything else rides the real network (Figure 15a).
-		h.Fabric.SetIntercept(h.interceptIngress)
-	}
-
-	for _, f := range flows {
-		f := f
-		h.shardFor(t.ClusterOf(f.Src)).sim.At(f.Start, func() { h.startFlow(f) })
-	}
-	return h, nil
+	return NewEngine(cfg, HybridRoles(dir), models)
 }
 
-// shardFor maps a cluster index to its logical process's context: the
-// modeled cluster on shard 1 when sharded, everything else (including
-// cores, ClusterOf == -1) on shard 0.
-func (h *Hybrid) shardFor(clusterIdx int) *shardCtx {
-	if h.par != nil && clusterIdx == hybridModeled {
-		return h.shards[1]
-	}
-	return h.shards[0]
-}
-
-// interceptIngress routes cluster-1-bound external packets through the
-// ingress model at the agg juncture. The real in-cluster copy is elided
-// (its congestion contribution is exactly what the model learned). The
-// fabric calls it on the LP owning the agg switch — the modeled shard —
-// and the predicted delivery is local to that shard.
-func (h *Hybrid) interceptIngress(node int, pkt *netsim.Packet) bool {
-	t := h.Topo
-	if t.KindOf(node) != topo.KindAgg || t.ClusterOf(node) != hybridModeled {
-		return false
-	}
-	if t.ClusterOf(pkt.Dst) != hybridModeled {
-		return false
-	}
-	if pkt.Hop < 1 || t.KindOf(pkt.Path[pkt.Hop-1]) != topo.KindCore {
-		return false
-	}
-	sh := h.shardFor(hybridModeled)
-	sh.modelPackets++
-	info := BuildPacketInfo(t, hybridModeled, pkt, pkt.Dst, sh.sim.Now())
-	h.mimic.ProcessIngressAsync(info, func(out Outcome) {
-		if out.Dropped {
-			sh.modelDrops++
-			return
-		}
-		if out.ECNMark {
-			pkt.CE = true
-		}
-		dst := pkt.Dst
-		at := info.ArrivalTime + out.Latency
-		if now := sh.sim.Now(); at < now {
-			at = now
-		}
-		sh.sim.At(at, func() { h.hosts[dst].Receive(pkt) })
-	})
-	return true
-}
-
-// inject routes transport packets. In Egress mode, packets leaving the
-// modeled cluster's hosts are served by the egress model at the same
-// juncture the model was trained on (host injection) and re-materialize
-// at the core; all other packets ride the real network (Figure 15b). It
-// executes on the LP owning pkt.Src's host.
-func (h *Hybrid) inject(pkt *netsim.Packet) {
-	t := h.Topo
-	pkt.Path = t.Path(pkt.Src, pkt.Dst, pkt.Hash)
-	if h.Dir != Egress ||
-		t.ClusterOf(pkt.Src) != hybridModeled ||
-		t.ClusterOf(pkt.Dst) == hybridModeled {
-		h.Fabric.Inject(pkt)
-		return
-	}
-	sh := h.shardFor(hybridModeled)
-	sh.modelPackets++
-	info := BuildPacketInfo(t, hybridModeled, pkt, pkt.Src, sh.sim.Now())
-	h.mimic.ProcessEgressAsync(info, func(out Outcome) {
-		if out.Dropped {
-			sh.modelDrops++
-			return
-		}
-		if out.ECNMark {
-			pkt.CE = true
-		}
-		coreHop := -1
-		for i, n := range pkt.Path {
-			if t.KindOf(n) == topo.KindCore {
-				coreHop = i
-				break
-			}
-		}
-		if coreHop < 0 {
-			return
-		}
-		at := info.ArrivalTime + out.Latency
-		if now := sh.sim.Now(); at < now {
-			at = now
-		}
-		materialize := func() { h.Fabric.InjectAt(pkt, coreHop) }
-		if h.par != nil {
-			// The core switch lives on LP 0; the sharded batch window is
-			// capped so this send is at least one lookahead ahead.
-			h.par.LPs[1].SendTo(h.par.LPs[0], at, materialize)
-			return
-		}
-		sh.sim.At(at, materialize)
-	})
-}
-
-func (h *Hybrid) startFlow(f workload.Flow) {
-	sh := h.shardFor(h.Topo.ClusterOf(f.Src))
-	tf := &transport.Flow{
-		ID: f.ID, Src: f.Src, Dst: f.Dst, Bytes: f.Bytes,
-		Hash: topo.FlowHash(f.Src, f.Dst, f.ID),
-	}
-	sender := h.cfg.Protocol.NewSender(sh.env, tf)
-	h.hosts[f.Src].AddSender(f.ID, sender)
-	sh.coll.FlowStarted(strconv.FormatUint(f.ID, 10), f.Src, f.Dst, f.Bytes, sh.sim.Now())
-	sh.flowsStarted++
-	sender.Start()
-}
-
-// Sharded reports whether this hybrid runs as parallel LPs.
-func (h *Hybrid) Sharded() bool { return h.par != nil }
-
-// Scheduler exposes the batched inference scheduler (nil under
-// SequentialInference).
-func (h *Hybrid) Scheduler() *InferenceScheduler {
-	return h.shardFor(hybridModeled).sched
-}
-
-// ModelPackets returns the number of packets served by the model under
-// test; ModelDrops the subset it predicted dropped.
-func (h *Hybrid) ModelPackets() uint64 { return h.shardFor(hybridModeled).modelPackets }
-
-// ModelDrops returns packets the model under test predicted dropped.
-func (h *Hybrid) ModelDrops() uint64 { return h.shardFor(hybridModeled).modelDrops }
-
-// FlowsStarted returns the number of flows started.
-func (h *Hybrid) FlowsStarted() int {
-	total := 0
-	for _, sh := range h.shards {
-		total += sh.flowsStarted
-	}
-	return total
-}
-
-// FlowsCompleted returns the number of flows completed.
-func (h *Hybrid) FlowsCompleted() int {
-	total := 0
-	for _, sh := range h.shards {
-		total += sh.flowsCompleted
-	}
-	return total
-}
-
-// Run advances the hybrid simulation, flushing any batched inference
-// requests still pending at the horizon.
-func (h *Hybrid) Run(until sim.Time) {
-	if h.par != nil {
-		h.par.Run(until)
-	} else {
-		h.Sim.RunUntil(until)
-	}
-	if sched := h.Scheduler(); sched != nil {
-		sched.Flush()
-	}
-}
-
-// Results snapshots metrics in the standard shape.
-func (h *Hybrid) Results() cluster.Results {
-	coll := h.shards[0].coll
-	if len(h.shards) > 1 {
-		coll = metrics.Merged(h.shards[0].coll, h.shards[1].coll)
-	}
-	var events uint64
-	for _, sh := range h.shards {
-		events += sh.sim.Processed()
-	}
-	return cluster.Results{
-		FCTs:        coll.FCTs(),
-		Throughputs: coll.Throughputs(),
-		RTTs:        coll.RTTs(),
-		FCTByID:     coll.FCTByID(),
-		Events:      events,
-		Packets:     h.Fabric.Injected(),
-		Drops:       h.Fabric.Drops() + h.ModelDrops(),
-	}
-}
-
-// DirectionError runs a hybrid for each direction against the all-real
-// reference and returns the per-direction W1(FCT) — the paper's
-// mechanism for attributing approximation error to one model.
-func DirectionError(cfg cluster.Config, models *MimicModels, until sim.Time) (ingW1, egW1 float64, err error) {
+// RoleError runs the all-real reference and both hybrid directions
+// concurrently (each engine owns its simulators, RNG streams, and
+// collectors, so the three runs never share mutable state) and returns
+// the per-direction W1(FCT) against the reference — the paper's
+// mechanism for attributing approximation error to one model. The
+// results are identical to running the three simulations back to back.
+func RoleError(cfg cluster.Config, models *MimicModels, until sim.Time) (ingW1, egW1 float64, err error) {
+	// Construct everything up front so validation errors surface before
+	// any simulation work starts.
 	ref := cfg
 	ref.Topo = cfg.Topo.WithClusters(2)
 	ref.Observable = 0
@@ -360,21 +58,38 @@ func DirectionError(cfg cluster.Config, models *MimicModels, until sim.Time) (in
 	if err != nil {
 		return 0, 0, err
 	}
-	inst.Run(until)
-	truth := inst.Results().FCTs
-
+	var hybs [2]*Engine
 	for _, dir := range []Direction{Ingress, Egress} {
-		hyb, err := NewHybrid(cfg, models, dir)
-		if err != nil {
-			return 0, 0, err
+		h, herr := NewHybrid(cfg, models, dir)
+		if herr != nil {
+			return 0, 0, herr
 		}
-		hyb.Run(until)
-		w := metrics.W1(hyb.Results().FCTs, truth)
-		if dir == Ingress {
-			ingW1 = w
-		} else {
-			egW1 = w
-		}
+		hybs[dir] = h
 	}
-	return ingW1, egW1, nil
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	var truth []float64
+	go func() {
+		defer wg.Done()
+		inst.Run(until)
+		truth = inst.Results().FCTs
+	}()
+	var fcts [2][]float64
+	for _, dir := range []Direction{Ingress, Egress} {
+		dir := dir
+		go func() {
+			defer wg.Done()
+			hybs[dir].Run(until)
+			fcts[dir] = hybs[dir].Results().FCTs
+		}()
+	}
+	wg.Wait()
+	return metrics.W1(fcts[Ingress], truth), metrics.W1(fcts[Egress], truth), nil
+}
+
+// DirectionError is the historical name for RoleError. The runs are now
+// concurrent rather than back to back; the values are unchanged.
+func DirectionError(cfg cluster.Config, models *MimicModels, until sim.Time) (ingW1, egW1 float64, err error) {
+	return RoleError(cfg, models, until)
 }

@@ -215,16 +215,27 @@ func (m *Mimic) InferenceSteps() uint64 {
 	return total
 }
 
-// FeederGap samples the next feeder interarrival for a composition of n
-// clusters. The fitted distribution describes the full external stream at
-// small scale; in an n-cluster composition only the Mimic-Mimic fraction
-// (n-2)/(n-1) is synthetic, so gaps stretch by the inverse (paper §4.1's
+// FeederGap samples the next feeder interarrival for a homogeneous
+// composition of n clusters (cluster 0 observed, the rest Mimics). The
+// fitted distribution describes the full external stream at small scale;
+// in an n-cluster composition only the Mimic-Mimic fraction (n-2)/(n-1)
+// is synthetic, so gaps stretch by the inverse (paper §4.1's
 // packet-count analysis). Returns 0 if feeders are unnecessary (n <= 2).
 func FeederGap(dm *DirectionModel, rng *stats.Stream, n int) sim.Time {
-	if n <= 2 || dm.RatePktsPerSec <= 0 {
+	if n <= 2 {
 		return 0
 	}
-	frac := float64(n-2) / float64(n-1)
+	return FeederGapFrac(dm, rng, float64(n-2)/float64(n-1))
+}
+
+// FeederGapFrac is FeederGap for an arbitrary role vector: frac is the
+// fraction of a Mimic's boundary peers that are themselves Mimics (the
+// share of its external traffic that must be synthesized). Returns 0
+// when nothing is synthetic or the model carries no rate.
+func FeederGapFrac(dm *DirectionModel, rng *stats.Stream, frac float64) sim.Time {
+	if frac <= 0 || dm.RatePktsPerSec <= 0 {
+		return 0
+	}
 	var gap float64
 	if dm.UseEmpiricalGaps && len(dm.GapSamples) > 0 {
 		gap = dm.GapSamples[rng.Intn(len(dm.GapSamples))] / frac

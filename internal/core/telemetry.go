@@ -38,6 +38,32 @@ var (
 			"Sample count of the most recently built dataset."),
 		Egress: obs.Default().Gauge(`mimicnet_core_dataset_samples{dir="egress"}`, ""),
 	}
+
+	// obsMimicDrops is the unified model-predicted drop family, replacing
+	// the split Composed.MimicDrops* / Hybrid.ModelDrops naming: indexed by
+	// [Direction][roleClass]. The engine publishes deltas after each Run,
+	// keeping atomics off the inference callbacks.
+	obsMimicDrops = [2][2]*obs.Counter{
+		Ingress: {
+			roleClassMimic: obs.Default().Counter(
+				`mimicnet_core_mimic_drops_total{dir="ingress",cluster_role="mimic"}`,
+				"Packets the trained models predicted dropped, by direction and the serving cluster's role (mimic = fully model-driven, hybrid = one direction under test)."),
+			roleClassHybrid: obs.Default().Counter(
+				`mimicnet_core_mimic_drops_total{dir="ingress",cluster_role="hybrid"}`, ""),
+		},
+		Egress: {
+			roleClassMimic: obs.Default().Counter(
+				`mimicnet_core_mimic_drops_total{dir="egress",cluster_role="mimic"}`, ""),
+			roleClassHybrid: obs.Default().Counter(
+				`mimicnet_core_mimic_drops_total{dir="egress",cluster_role="hybrid"}`, ""),
+		},
+	}
+)
+
+// roleClass values for obsMimicDrops' second index.
+const (
+	roleClassMimic = iota
+	roleClassHybrid
 )
 
 // observeDatasetBuilt records the footprint of a freshly built dataset.

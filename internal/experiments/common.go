@@ -210,7 +210,7 @@ func (r *Runner) runFull(protocol string, n int) (cluster.Results, time.Duration
 }
 
 // runMimic executes a MimicNet composition at n clusters.
-func (r *Runner) runMimic(protocol string, n int) (cluster.Results, time.Duration, *core.Composed, error) {
+func (r *Runner) runMimic(protocol string, n int) (cluster.Results, time.Duration, *core.Engine, error) {
 	art, err := r.Artifacts(protocol)
 	if err != nil {
 		return cluster.Results{}, 0, nil, err
